@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench prints self-describing tab-separated tables so the output can
+// be redirected into a file and plotted directly.  Benches default to a
+// scaled-down cluster (documented in EXPERIMENTS.md) so the whole suite
+// finishes in minutes; pass --full for paper-scale runs.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/metrics_io.h"
+
+namespace esp::bench {
+
+/// True when `flag` (e.g. "--full") appears among the arguments.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Writes the run's window/adjustment series next to the bench as
+/// <prefix>_windows.tsv and <prefix>_adjustments.tsv when --tsv was given.
+inline void MaybeWriteTsv(int argc, char** argv, const std::string& prefix,
+                          const sim::RunResult& result,
+                          const std::vector<std::string>& constraint_names) {
+  if (!HasFlag(argc, argv, "--tsv")) return;
+  {
+    std::ofstream out(prefix + "_windows.tsv");
+    sim::WriteWindowsTsv(out, result, constraint_names);
+  }
+  {
+    std::ofstream out(prefix + "_adjustments.tsv");
+    sim::WriteAdjustmentsTsv(out, result, constraint_names);
+  }
+  std::printf("wrote %s_windows.tsv and %s_adjustments.tsv\n", prefix.c_str(),
+              prefix.c_str());
+}
+
+/// Prints a section header.
+inline void Section(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+/// Per-window row for latency/throughput traces.
+inline void PrintWindowHeader() {
+  std::printf("#%7s %10s %10s %10s %12s %12s %8s\n", "t[s]", "attempt/s", "emit/s",
+              "deliver/s", "lat_mean[ms]", "lat_p95[ms]", "samples");
+}
+
+inline void PrintWindowRow(const sim::WindowMetrics& w, std::size_t constraint = 0) {
+  const auto& c = w.constraints.at(constraint);
+  std::printf("%8.0f %10.1f %10.1f %10.1f %12.3f %12.3f %8llu\n", ToSeconds(w.end),
+              w.attempted_rate, w.effective_rate, w.delivered_rate, c.mean_latency * 1e3,
+              c.p95_latency * 1e3, static_cast<unsigned long long>(c.samples));
+}
+
+}  // namespace esp::bench

@@ -1,0 +1,112 @@
+// Figure 3 reproduction: latency and throughput of the PrimeTester job with
+// STATIC resource provisioning under the four shipping configurations
+// (paper §III):
+//   Storm            -- instant per-item shipping (Apache Storm v0.9.2)
+//   Nephele-IF       -- Nephele with instant flushing (Storm-equivalent)
+//   Nephele-16KiB    -- fixed 16 KiB output buffers (max throughput)
+//   Nephele-20ms     -- adaptive output batching against a 20 ms constraint
+//
+// Expected shape (paper): all configs keep up during Warm-Up with latencies
+// instant < adaptive-20ms << 16KiB (~seconds); under Increment the instant
+// configs saturate first and lowest, 20 ms adaptive ~+30 % peak effective
+// throughput, 16 KiB ~+58 %; saturated latency is queue-bound for everyone.
+//
+// Default is a 1/5-scale cluster (10/40/10 tasks, rates / 5, 12 s steps);
+// --full runs the paper's 50/200/50 tasks, 60 s steps.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workloads/prime_tester.h"
+
+using namespace esp;
+using namespace esp::workloads;
+
+namespace {
+
+struct Config {
+  const char* name;
+  ShippingStrategy shipping;
+  std::uint64_t seed;
+};
+
+PrimeTesterParams Params(bool full) {
+  PrimeTesterParams p;
+  const double scale = full ? 1.0 : 0.2;
+  p.sources = static_cast<std::uint32_t>(50 * scale);
+  p.prime_testers = static_cast<std::uint32_t>(200 * scale);
+  p.sinks = static_cast<std::uint32_t>(50 * scale);
+  p.pt_min_parallelism = p.prime_testers;
+  p.pt_max_parallelism = p.prime_testers;
+  p.elastic = false;
+  p.warmup_rate = 10'000 * scale;
+  p.rate_increment = 10'000 * scale;
+  p.increments = 6;
+  p.step_duration = full ? FromSeconds(60) : FromSeconds(12);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::HasFlag(argc, argv, "--full");
+  SetLogLevel(LogLevel::kError);
+  std::printf("FIG3: PrimeTester, static provisioning, 4 shipping configs%s\n",
+              full ? " (FULL scale)" : " (1/5 scale; --full for paper scale)");
+
+  const std::vector<Config> configs = {
+      {"Storm", ShippingStrategy::kInstantFlush, 101},
+      {"Nephele-IF", ShippingStrategy::kInstantFlush, 202},
+      {"Nephele-16KiB", ShippingStrategy::kFixedBuffer, 303},
+      {"Nephele-20ms", ShippingStrategy::kAdaptive, 404},
+  };
+
+  struct Summary {
+    const char* name;
+    double warmup_latency_ms;
+    double peak_effective;
+  };
+  std::vector<Summary> summaries;
+
+  for (const Config& config : configs) {
+    const PrimeTesterParams params = Params(full);
+    sim::SimConfig sim_config;
+    sim_config.shipping = config.shipping;
+    sim_config.scaler.enabled = false;  // static provisioning
+    sim_config.workers = full ? 50 : 16;
+    sim_config.seed = config.seed;
+
+    PrimeTesterSim pt = BuildPrimeTesterSim(params, sim_config);
+    const sim::RunResult result = pt.sim->Run(pt.schedule_length);
+
+    bench::Section(config.name);
+    bench::PrintWindowHeader();
+    // Peak SUSTAINABLE throughput: source emission transiently exceeds it
+    // while queues fill, and sink delivery transiently exceeds it while
+    // queues drain -- the min of the two per window cancels both effects.
+    double peak = 0.0;
+    for (const auto& w : result.windows) {
+      bench::PrintWindowRow(w);
+      peak = std::max(peak, std::min(w.effective_rate, w.delivered_rate));
+    }
+    const double warmup_ms =
+        result.windows.empty() ? 0.0 : result.windows.front().constraints[0].mean_latency * 1e3;
+    summaries.push_back({config.name, warmup_ms, peak});
+  }
+
+  bench::Section("summary: who wins, by what factor");
+  std::printf("#%-14s %18s %18s %12s\n", "config", "warmup_lat[ms]", "peak_sus[items/s]",
+              "vs_instant");
+  const double instant_peak = summaries.front().peak_effective;
+  for (const Summary& s : summaries) {
+    std::printf("%-15s %18.2f %18.1f %11.2fx\n", s.name, s.warmup_latency_ms,
+                s.peak_effective, s.peak_effective / instant_peak);
+  }
+  std::printf(
+      "\npaper shape: instant lowest peak; 20ms ~1.3x instant; 16KiB ~1.58x instant;\n"
+      "             16KiB warm-up latency ~seconds vs ~1-2 ms (instant) / <=20 ms "
+      "(adaptive)\n");
+  return 0;
+}

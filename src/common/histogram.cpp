@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace esp {
+
+LogHistogram::LogHistogram(double min_value, double base, std::size_t max_buckets)
+    : min_value_(min_value), log_base_(std::log(base)), max_buckets_(max_buckets) {
+  if (min_value <= 0) throw std::invalid_argument("LogHistogram: min_value must be > 0");
+  if (base <= 1.0) throw std::invalid_argument("LogHistogram: base must be > 1");
+  if (max_buckets < 2) throw std::invalid_argument("LogHistogram: need >= 2 buckets");
+  buckets_.resize(2, 0);
+}
+
+std::size_t LogHistogram::BucketFor(double x) const {
+  if (x <= min_value_) return 0;
+  const double idx = std::log(x / min_value_) / log_base_;
+  const std::size_t i = static_cast<std::size_t>(idx) + 1;
+  return std::min(i, max_buckets_ - 1);
+}
+
+double LogHistogram::BucketLowerEdge(std::size_t i) const {
+  if (i == 0) return 0.0;
+  return min_value_ * std::exp(log_base_ * static_cast<double>(i - 1));
+}
+
+void LogHistogram::Add(double x) {
+  if (x < 0 || !std::isfinite(x)) return;  // ignore invalid observations
+  const std::size_t i = BucketFor(x);
+  if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+  ++buckets_[i];
+  ++count_;
+  sum_ += x;
+  max_seen_ = std::max(max_seen_, x);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.max_buckets_ != max_buckets_ || other.min_value_ != min_value_ ||
+      other.log_base_ != log_base_) {
+    throw std::invalid_argument("LogHistogram::Merge: parameter mismatch");
+  }
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t b = buckets_[i];
+    if (b == 0) continue;
+    if (static_cast<double>(acc + b) >= target) {
+      // Interpolate within the bucket.
+      const double lo = BucketLowerEdge(i);
+      const double hi = i + 1 < buckets_.size()
+                            ? BucketLowerEdge(i + 1)
+                            : std::max(max_seen_, lo);
+      const double frac = (target - static_cast<double>(acc)) / static_cast<double>(b);
+      return lo + frac * (hi - lo);
+    }
+    acc += b;
+  }
+  return max_seen_;
+}
+
+double LogHistogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+void LogHistogram::Reset() {
+  buckets_.assign(2, 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_seen_ = 0.0;
+}
+
+std::string LogHistogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Quantile(0.5)
+     << " p95=" << Quantile(0.95) << " p99=" << Quantile(0.99)
+     << " max=" << max_seen_;
+  return os.str();
+}
+
+}  // namespace esp

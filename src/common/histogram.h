@@ -1,0 +1,57 @@
+// Log-scaled latency histogram.
+//
+// Used by benches and the runtime to report latency distributions without
+// storing raw samples.  Buckets grow geometrically, giving ~5 % relative
+// resolution across nine decades (1 ns .. ~1000 s).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esp {
+
+/// Geometric-bucket histogram over positive values.
+class LogHistogram {
+ public:
+  /// `base` is the bucket growth factor (> 1); `min_value` the lower edge of
+  /// the first bucket.  Values below min_value land in bucket 0.  Buckets
+  /// are allocated on demand as larger values arrive, up to `max_buckets`
+  /// (values beyond that land in the final bucket).
+  explicit LogHistogram(double min_value = 1.0, double base = 1.05,
+                        std::size_t max_buckets = 4096);
+
+  /// Records one observation.
+  void Add(double x);
+
+  /// Merges another histogram with identical parameters.
+  void Merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Approximate quantile (q in [0, 1]) via bucket interpolation; 0 if empty.
+  double Quantile(double q) const;
+
+  /// Arithmetic mean of recorded values (tracked exactly, not from buckets).
+  double Mean() const;
+
+  void Reset();
+
+  /// One-line summary "count=.. mean=.. p50=.. p95=.. p99=.. max=..".
+  std::string Summary() const;
+
+ private:
+  std::size_t BucketFor(double x) const;
+  double BucketLowerEdge(std::size_t i) const;
+
+  double min_value_;
+  double log_base_;
+  std::size_t max_buckets_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace esp

@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr.
+//
+// The library is designed to be embedded, so logging is opt-in and global
+// state is limited to a single atomic level.  Benches lower the level to
+// keep their table output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace esp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr if `level` passes the global filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style builder that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace esp
+
+#define ESP_LOG_DEBUG ::esp::internal::LogLine(::esp::LogLevel::kDebug)
+#define ESP_LOG_INFO ::esp::internal::LogLine(::esp::LogLevel::kInfo)
+#define ESP_LOG_WARN ::esp::internal::LogLine(::esp::LogLevel::kWarn)
+#define ESP_LOG_ERROR ::esp::internal::LogLine(::esp::LogLevel::kError)

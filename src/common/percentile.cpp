@@ -1,0 +1,93 @@
+#include "common/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esp {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (q <= 0.0 || q >= 1.0) {
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+  }
+  Reset();
+}
+
+void P2Quantile::Reset() {
+  count_ = 0;
+  heights_.fill(0.0);
+  positions_ = {1, 2, 3, 4, 5};
+  desired_ = {1, 1 + 2 * q_, 1 + 4 * q_, 3 + 2 * q_, 5};
+  increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing x and update extreme markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers towards their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool can_right = positions_[i + 1] - positions_[i] > 1.0;
+    const bool can_left = positions_[i - 1] - positions_[i] < -1.0;
+    if ((d >= 1.0 && can_right) || (d <= -1.0 && can_left)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      // Parabolic (P²) prediction.
+      const double np = positions_[i] + sign;
+      const double hp =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < hp && hp < heights_[i + 1]) {
+        heights_[i] = hp;
+      } else {
+        // Fall back to linear prediction when the parabola overshoots.
+        const std::size_t j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return heights_[2];
+  // Exact order statistic over the small buffer.
+  std::array<double, 5> buf{};
+  std::copy(heights_.begin(), heights_.begin() + count_, buf.begin());
+  std::sort(buf.begin(), buf.begin() + count_);
+  const double rank = q_ * static_cast<double>(count_ - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, count_ - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return buf[lo] + frac * (buf[hi] - buf[lo]);
+}
+
+}  // namespace esp

@@ -1,0 +1,40 @@
+// Streaming quantile estimation.
+//
+// The paper reports 95th-percentile latencies per 10 s window.  Collecting
+// every latency sample at cluster scale is infeasible, so we provide the P²
+// algorithm (Jain & Chlamtac, 1985): an O(1)-space estimator that maintains
+// five markers approximating a single quantile.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace esp {
+
+/// Single-quantile streaming estimator using the P² algorithm.
+class P2Quantile {
+ public:
+  /// `q` is the target quantile in (0, 1), e.g. 0.95.
+  explicit P2Quantile(double q);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Current estimate.  Before five observations have been seen the exact
+  /// order statistic over the buffered values is returned; 0 when empty.
+  double Value() const;
+
+  std::size_t count() const { return count_; }
+
+  void Reset();
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace esp

@@ -1,0 +1,35 @@
+#include "common/reservoir.h"
+
+#include <stdexcept>
+
+namespace esp {
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("ReservoirSampler: capacity must be > 0");
+  sample_.reserve(capacity);
+}
+
+void ReservoirSampler::Add(double x, Rng& rng) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  const std::uint64_t j =
+      static_cast<std::uint64_t>(rng.UniformInt(0, static_cast<std::int64_t>(seen_) - 1));
+  if (j < capacity_) sample_[j] = x;
+}
+
+double ReservoirSampler::SampleMean() const {
+  if (sample_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : sample_) sum += v;
+  return sum / static_cast<double>(sample_.size());
+}
+
+void ReservoirSampler::Reset() {
+  seen_ = 0;
+  sample_.clear();
+}
+
+}  // namespace esp

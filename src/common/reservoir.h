@@ -1,0 +1,41 @@
+// Reservoir sampling of latency observations.
+//
+// The paper reduces measurement overhead by taking "a random sample of the
+// data item latencies within each 10 s period" and averaging the sample.
+// ReservoirSampler implements Vitter's Algorithm R so QoS reporters can keep
+// a bounded, uniformly random subset of the window's observations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace esp {
+
+/// Fixed-capacity uniform sample over a stream of doubles (Algorithm R).
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(std::size_t capacity);
+
+  /// Offers one observation to the reservoir.
+  void Add(double x, Rng& rng);
+
+  /// Number of observations offered so far (not the sample size).
+  std::size_t seen() const { return seen_; }
+
+  /// The current sample (size <= capacity).
+  const std::vector<double>& sample() const { return sample_; }
+
+  /// Mean of the current sample; 0 when empty.
+  double SampleMean() const;
+
+  void Reset();
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::vector<double> sample_;
+};
+
+}  // namespace esp

@@ -1,0 +1,57 @@
+// Time types shared by the simulator, the QoS subsystem and the latency
+// model.
+//
+// The discrete-event simulator needs a totally ordered, drift-free clock, so
+// simulated time is an integer nanosecond count (SimTime).  The queueing
+// model works in real-valued seconds; the helpers below convert between the
+// two representations.
+#pragma once
+
+#include <cstdint>
+
+namespace esp {
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds (same representation as SimTime).
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosPerMicro = 1'000;
+inline constexpr SimDuration kNanosPerMilli = 1'000'000;
+inline constexpr SimDuration kNanosPerSecond = 1'000'000'000;
+
+namespace internal {
+/// Round-to-nearest conversion; truncation would turn 0.008 s into
+/// 7'999'999 ns and poison equality comparisons downstream.
+constexpr SimDuration RoundToNanos(double value) {
+  return static_cast<SimDuration>(value >= 0 ? value + 0.5 : value - 0.5);
+}
+}  // namespace internal
+
+/// Converts whole/fractional seconds to a SimDuration.
+constexpr SimDuration FromSeconds(double s) {
+  return internal::RoundToNanos(s * static_cast<double>(kNanosPerSecond));
+}
+
+/// Converts whole/fractional milliseconds to a SimDuration.
+constexpr SimDuration FromMillis(double ms) {
+  return internal::RoundToNanos(ms * static_cast<double>(kNanosPerMilli));
+}
+
+/// Converts whole/fractional microseconds to a SimDuration.
+constexpr SimDuration FromMicros(double us) {
+  return internal::RoundToNanos(us * static_cast<double>(kNanosPerMicro));
+}
+
+/// Converts a SimDuration to real-valued seconds.
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosPerSecond);
+}
+
+/// Converts a SimDuration to real-valued milliseconds.
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosPerMilli);
+}
+
+}  // namespace esp

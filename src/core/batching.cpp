@@ -1,0 +1,60 @@
+#include "core/batching.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esp {
+
+FlushDeadlines ComputeFlushDeadlines(const JobGraph& graph,
+                                     const std::vector<LatencyConstraint>& constraints,
+                                     const GlobalSummary& summary,
+                                     const FlushDeadlines& previous,
+                                     const BatchingPolicyOptions& options) {
+  FlushDeadlines deadlines;
+
+  for (const LatencyConstraint& constraint : constraints) {
+    const auto& edges = constraint.sequence.edges();
+    if (edges.empty()) continue;
+
+    double task_latency_sum = 0.0;
+    for (JobVertexId v : constraint.sequence.vertices()) {
+      if (summary.HasVertex(v)) task_latency_sum += summary.vertex(v).task_latency;
+    }
+
+    const double shipping_budget = ToSeconds(constraint.bound) - task_latency_sum;
+    const double batching_budget =
+        (1.0 - options.queue_wait_fraction) * std::max(0.0, shipping_budget);
+    const double share = options.deadline_safety_factor * batching_budget /
+                         static_cast<double>(edges.size());
+    const SimDuration share_deadline = std::max(options.min_deadline, FromSeconds(share));
+
+    for (JobEdgeId e : edges) {
+      SimDuration next = share_deadline;
+
+      // Feedback: deadline is a cap on the first item's wait; the realised
+      // mean depends on per-channel rates.  Steer the measured mean toward
+      // the share.
+      const auto prev_it = previous.find(Value(e));
+      if (options.feedback_gain > 0 && prev_it != previous.end() && summary.HasEdge(e)) {
+        const double measured = summary.edge(e).output_batch_latency;
+        if (measured > 1e-9 && share > 0) {
+          const double prev = ToSeconds(prev_it->second);
+          double suggested = prev * share / measured;
+          suggested = std::clamp(suggested, ToSeconds(options.min_deadline),
+                                 share * options.max_deadline_share_factor);
+          // Geometric damping between the previous and suggested values.
+          const double damped = prev * std::pow(suggested / prev, options.feedback_gain);
+          next = std::max(options.min_deadline, FromSeconds(damped));
+        }
+      }
+
+      auto [it, inserted] = deadlines.emplace(Value(e), next);
+      if (!inserted) it->second = std::min(it->second, next);
+    }
+  }
+
+  (void)graph;  // kept in the signature for symmetry with ScaleReactively
+  return deadlines;
+}
+
+}  // namespace esp

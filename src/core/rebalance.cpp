@@ -1,0 +1,143 @@
+#include "core/rebalance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace esp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Bounds {
+  std::uint32_t lo;
+  std::uint32_t hi;
+};
+
+// Effective per-vertex bounds: non-elastic vertices are pinned to their
+// current parallelism, elastic vertices honour [p_min, p_max] and the floor.
+std::vector<Bounds> EffectiveBounds(const LatencyModel& model, const ParallelismFloor& floor) {
+  std::vector<Bounds> bounds;
+  bounds.reserve(model.vertices().size());
+  for (const VertexModel& v : model.vertices()) {
+    Bounds b{};
+    if (!v.elastic) {
+      b.lo = b.hi = v.p_current;
+    } else {
+      b.lo = v.p_min;
+      b.hi = v.p_max;
+      const auto it = floor.find(Value(v.id));
+      if (it != floor.end()) b.lo = std::max(b.lo, it->second);
+      b.lo = std::min(b.lo, b.hi);
+    }
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+// Lifts saturated vertices to the smallest stable parallelism within their
+// bounds so every Wait() below is finite where possible.
+void LiftSaturated(const LatencyModel& model, const std::vector<Bounds>& bounds,
+                   std::vector<std::uint32_t>& p) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const VertexModel& v = model.vertices()[i];
+    if (std::isinf(v.Wait(p[i]))) {
+      const auto stable = v.MinParallelismForWait(kInf / 2);  // any finite wait
+      // MinParallelismForWait with a huge budget returns the stability point.
+      if (stable) p[i] = std::clamp(*stable, bounds[i].lo, bounds[i].hi);
+    }
+  }
+}
+
+RebalanceResult Descend(const LatencyModel& model, double wait_limit,
+                        const ParallelismFloor& floor, bool variable_step) {
+  const auto& vertices = model.vertices();
+  const std::size_t n = vertices.size();
+  const std::vector<Bounds> bounds = EffectiveBounds(model, floor);
+
+  RebalanceResult result;
+  result.parallelism.resize(n);
+
+  // Feasibility test at maximum scale-out (Algorithm 1, line 2).
+  std::vector<std::uint32_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = bounds[i].hi;
+  const double wait_at_max = model.TotalWait(p);
+  if (!(wait_at_max <= wait_limit)) {
+    result.feasible = false;
+    result.parallelism = std::move(p);
+    result.predicted_wait = wait_at_max;
+    return result;
+  }
+
+  // Start from the floor (Algorithm 1, line 3), lifting saturated vertices.
+  for (std::size_t i = 0; i < n; ++i) p[i] = bounds[i].lo;
+  LiftSaturated(model, bounds, p);
+
+  double total = model.TotalWait(p);
+  while (total > wait_limit) {
+    ++result.iterations;
+
+    // C: vertices with headroom (Algorithm 1, line 5).
+    double best_delta = kInf;
+    double second_delta = kInf;
+    std::size_t c1 = n;
+    std::size_t c2 = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p[i] >= bounds[i].hi) continue;
+      const double d = vertices[i].Delta(p[i]);
+      if (d < best_delta) {
+        second_delta = best_delta;
+        c2 = c1;
+        best_delta = d;
+        c1 = i;
+      } else if (d < second_delta) {
+        second_delta = d;
+        c2 = i;
+      }
+    }
+    if (c1 == n) break;  // no headroom left; numerically can't improve
+
+    std::uint32_t target;
+    if (!variable_step) {
+      target = p[c1] + 1;
+    } else if (c2 != n) {
+      // Jump until the runner-up becomes the better candidate (P_Delta),
+      // but never past the point where the wait limit is already met
+      // (P_W on the remaining budget) -- the pure pseudocode can overshoot
+      // when the budget is reached mid-jump.
+      target = vertices[c1].ParallelismForDelta(second_delta);
+      const double budget = wait_limit - (total - vertices[c1].Wait(p[c1]));
+      const auto finish = vertices[c1].MinParallelismForWait(budget);
+      if (finish) target = std::min(target, *finish);
+    } else {
+      // Last vertex with headroom: jump straight to the wait budget (P_W).
+      const double budget = wait_limit - (total - vertices[c1].Wait(p[c1]));
+      const auto finish = vertices[c1].MinParallelismForWait(budget);
+      target = finish ? *finish : bounds[c1].hi;
+    }
+
+    target = std::clamp<std::uint32_t>(std::max(target, p[c1] + 1), bounds[c1].lo,
+                                       bounds[c1].hi);
+    p[c1] = target;
+    total = model.TotalWait(p);
+  }
+
+  result.feasible = true;
+  result.parallelism = std::move(p);
+  result.predicted_wait = total;
+  return result;
+}
+
+}  // namespace
+
+RebalanceResult Rebalance(const LatencyModel& model, double wait_limit,
+                          const ParallelismFloor& floor) {
+  return Descend(model, wait_limit, floor, /*variable_step=*/true);
+}
+
+RebalanceResult RebalanceUnitStep(const LatencyModel& model, double wait_limit,
+                                  const ParallelismFloor& floor) {
+  return Descend(model, wait_limit, floor, /*variable_step=*/false);
+}
+
+}  // namespace esp

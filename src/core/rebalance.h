@@ -1,0 +1,58 @@
+// The Rebalance technique (paper §IV-D, Algorithm 1).
+//
+// Given a fitted latency model for one constrained job sequence and a queue
+// wait limit W_hat, Rebalance picks per-vertex degrees of parallelism that
+// minimise total parallelism subject to W_js(p*) <= W_hat, via gradient
+// descent with the paper's closed-form variable step size (P_Delta / P_W).
+//
+// Deviations from the paper's pseudocode, for robustness:
+//  * non-elastic vertices keep their current parallelism (their wait still
+//    counts toward W_js);
+//  * after applying P_min, saturated vertices (p <= b, utilization >= 1 in
+//    the model) are lifted to the smallest stable parallelism before the
+//    descent, since their predicted wait is infinite and Delta undefined;
+//  * every step strictly increases the chosen vertex's parallelism, which
+//    bounds the loop by sum(p_max - p_min) iterations.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/latency_model.h"
+
+namespace esp {
+
+/// Minimum-parallelism floor handed between successive Rebalance calls so a
+/// later constraint cannot undo an earlier constraint's scale-up
+/// (paper Algorithm 2, P_min).  Keys are raw JobVertexId values.
+using ParallelismFloor = std::unordered_map<std::uint32_t, std::uint32_t>;
+
+/// Outcome of one Rebalance invocation.
+struct RebalanceResult {
+  /// False when even maximum scale-out cannot satisfy the wait limit; the
+  /// returned parallelism is then the maximum scale-out.
+  bool feasible = false;
+
+  /// Chosen parallelism per model vertex, in model order.
+  std::vector<std::uint32_t> parallelism;
+
+  /// Predicted total queue wait at the chosen parallelism (seconds).
+  double predicted_wait = 0.0;
+
+  /// Gradient-descent iterations taken (for the complexity bench).
+  std::uint32_t iterations = 0;
+};
+
+/// Runs Algorithm 1.  `wait_limit` is W_hat_js in seconds; `floor` supplies
+/// minimum degrees of parallelism (missing vertices default to their p_min).
+RebalanceResult Rebalance(const LatencyModel& model, double wait_limit,
+                          const ParallelismFloor& floor = {});
+
+/// Reference implementation with fixed +1 steps instead of P_Delta/P_W.
+/// Produces the same assignment; exists to benchmark the variable step
+/// size's iteration savings (ablation in DESIGN.md).
+RebalanceResult RebalanceUnitStep(const LatencyModel& model, double wait_limit,
+                                  const ParallelismFloor& floor = {});
+
+}  // namespace esp

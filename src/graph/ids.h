@@ -1,0 +1,59 @@
+// Identifier types for the two graph representations of a streaming job.
+//
+// Job-level ids (JobVertexId/JobEdgeId) index the user-provided job graph;
+// task-level ids (TaskId/ChannelId) index the parallelised runtime graph.
+// They are distinct types so the compiler rejects mixing the two levels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace esp {
+
+/// Index of a vertex in a JobGraph.
+enum class JobVertexId : std::uint32_t {};
+
+/// Index of an edge in a JobGraph.
+enum class JobEdgeId : std::uint32_t {};
+
+constexpr std::uint32_t Value(JobVertexId id) { return static_cast<std::uint32_t>(id); }
+constexpr std::uint32_t Value(JobEdgeId id) { return static_cast<std::uint32_t>(id); }
+
+/// A task is one parallel instance (subtask) of a job vertex.
+struct TaskId {
+  JobVertexId vertex;
+  std::uint32_t subtask;
+
+  friend bool operator==(const TaskId&, const TaskId&) = default;
+  friend auto operator<=>(const TaskId&, const TaskId&) = default;
+};
+
+/// A channel connects one producer task to one consumer task and belongs to
+/// exactly one job edge.
+struct ChannelId {
+  JobEdgeId edge;
+  std::uint32_t producer_subtask;
+  std::uint32_t consumer_subtask;
+
+  friend bool operator==(const ChannelId&, const ChannelId&) = default;
+  friend auto operator<=>(const ChannelId&, const ChannelId&) = default;
+};
+
+}  // namespace esp
+
+template <>
+struct std::hash<esp::TaskId> {
+  std::size_t operator()(const esp::TaskId& id) const noexcept {
+    return (static_cast<std::size_t>(esp::Value(id.vertex)) << 32) | id.subtask;
+  }
+};
+
+template <>
+struct std::hash<esp::ChannelId> {
+  std::size_t operator()(const esp::ChannelId& id) const noexcept {
+    std::size_t h = static_cast<std::size_t>(esp::Value(id.edge));
+    h = h * 1000003u + id.producer_subtask;
+    h = h * 1000003u + id.consumer_subtask;
+    return h;
+  }
+};

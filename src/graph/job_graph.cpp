@@ -1,0 +1,154 @@
+#include "graph/job_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace esp {
+
+JobVertexId JobGraph::AddVertex(const VertexSpec& spec) {
+  if (spec.name.empty()) throw std::invalid_argument("JobGraph: vertex name must not be empty");
+  if (spec.max_parallelism == 0) {
+    throw std::invalid_argument("JobGraph: max_parallelism must be >= 1");
+  }
+  if (spec.min_parallelism == 0 || spec.min_parallelism > spec.max_parallelism) {
+    throw std::invalid_argument("JobGraph: require 1 <= min_parallelism <= max_parallelism");
+  }
+  if (spec.parallelism < spec.min_parallelism || spec.parallelism > spec.max_parallelism) {
+    throw std::invalid_argument("JobGraph: parallelism outside [min, max]");
+  }
+  for (const auto& v : vertices_) {
+    if (v.name == spec.name) {
+      throw std::invalid_argument("JobGraph: duplicate vertex name '" + spec.name + "'");
+    }
+  }
+  JobVertex v;
+  v.name = spec.name;
+  v.parallelism = spec.parallelism;
+  v.min_parallelism = spec.min_parallelism;
+  v.max_parallelism = spec.max_parallelism;
+  v.latency_mode = spec.latency_mode;
+  v.elastic = spec.elastic;
+  vertices_.push_back(std::move(v));
+  return JobVertexId{static_cast<std::uint32_t>(vertices_.size() - 1)};
+}
+
+JobEdgeId JobGraph::Connect(JobVertexId source, JobVertexId target, WiringPattern pattern) {
+  if (Value(source) >= vertices_.size() || Value(target) >= vertices_.size()) {
+    throw std::invalid_argument("JobGraph::Connect: unknown vertex");
+  }
+  if (source == target) throw std::invalid_argument("JobGraph::Connect: self loop");
+  if (WouldCreateCycle(source, target)) {
+    throw std::invalid_argument("JobGraph::Connect: edge would create a cycle");
+  }
+  edges_.push_back(JobEdge{source, target, pattern});
+  const JobEdgeId id{static_cast<std::uint32_t>(edges_.size() - 1)};
+  vertices_[Value(source)].outputs.push_back(id);
+  vertices_[Value(target)].inputs.push_back(id);
+  return id;
+}
+
+bool JobGraph::WouldCreateCycle(JobVertexId source, JobVertexId target) const {
+  // DFS from target: if source is reachable, adding target->source's reverse
+  // (i.e. source->target) would close a cycle.
+  std::vector<JobVertexId> stack{target};
+  std::vector<bool> seen(vertices_.size(), false);
+  while (!stack.empty()) {
+    const JobVertexId v = stack.back();
+    stack.pop_back();
+    if (v == source) return true;
+    if (seen[Value(v)]) continue;
+    seen[Value(v)] = true;
+    for (JobEdgeId e : vertices_[Value(v)].outputs) {
+      stack.push_back(edges_[Value(e)].target);
+    }
+  }
+  return false;
+}
+
+const JobVertex& JobGraph::vertex(JobVertexId id) const {
+  if (Value(id) >= vertices_.size()) throw std::out_of_range("JobGraph::vertex: bad id");
+  return vertices_[Value(id)];
+}
+
+const JobEdge& JobGraph::edge(JobEdgeId id) const {
+  if (Value(id) >= edges_.size()) throw std::out_of_range("JobGraph::edge: bad id");
+  return edges_[Value(id)];
+}
+
+std::vector<JobVertexId> JobGraph::VertexIds() const {
+  std::vector<JobVertexId> ids;
+  ids.reserve(vertices_.size());
+  for (std::uint32_t i = 0; i < vertices_.size(); ++i) ids.push_back(JobVertexId{i});
+  return ids;
+}
+
+std::vector<JobEdgeId> JobGraph::EdgeIds() const {
+  std::vector<JobEdgeId> ids;
+  ids.reserve(edges_.size());
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) ids.push_back(JobEdgeId{i});
+  return ids;
+}
+
+std::vector<JobVertexId> JobGraph::SourceVertices() const {
+  std::vector<JobVertexId> out;
+  for (std::uint32_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].inputs.empty()) out.push_back(JobVertexId{i});
+  }
+  return out;
+}
+
+std::vector<JobVertexId> JobGraph::SinkVertices() const {
+  std::vector<JobVertexId> out;
+  for (std::uint32_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].outputs.empty()) out.push_back(JobVertexId{i});
+  }
+  return out;
+}
+
+std::vector<JobVertexId> JobGraph::TopologicalOrder() const {
+  std::vector<std::uint32_t> indegree(vertices_.size(), 0);
+  for (const auto& e : edges_) ++indegree[Value(e.target)];
+  std::vector<JobVertexId> order;
+  order.reserve(vertices_.size());
+  std::vector<JobVertexId> ready;
+  for (std::uint32_t i = 0; i < vertices_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(JobVertexId{i});
+  }
+  while (!ready.empty()) {
+    const JobVertexId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (JobEdgeId e : vertices_[Value(v)].outputs) {
+      const JobVertexId t = edges_[Value(e)].target;
+      if (--indegree[Value(t)] == 0) ready.push_back(t);
+    }
+  }
+  // Connect() forbids cycles, so the order always covers every vertex.
+  return order;
+}
+
+JobVertexId JobGraph::VertexByName(const std::string& name) const {
+  for (std::uint32_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].name == name) return JobVertexId{i};
+  }
+  throw std::out_of_range("JobGraph: no vertex named '" + name + "'");
+}
+
+void JobGraph::SetParallelism(JobVertexId id, std::uint32_t p) {
+  if (Value(id) >= vertices_.size()) throw std::out_of_range("JobGraph::SetParallelism: bad id");
+  JobVertex& v = vertices_[Value(id)];
+  if (p < v.min_parallelism || p > v.max_parallelism) {
+    throw std::invalid_argument("JobGraph::SetParallelism: p outside [min, max] for '" +
+                                v.name + "'");
+  }
+  v.parallelism = p;
+}
+
+std::uint64_t JobGraph::TotalParallelism() const {
+  std::uint64_t total = 0;
+  for (const auto& v : vertices_) total += v.parallelism;
+  return total;
+}
+
+}  // namespace esp

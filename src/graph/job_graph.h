@@ -1,0 +1,112 @@
+// The user-facing job graph (paper §II-A1).
+//
+// A job graph is a DAG of job vertices, each carrying a UDF reference and a
+// current / minimum / maximum degree of parallelism, connected by job edges
+// that carry a wiring pattern ("stream grouping").  The engine expands it
+// into a runtime graph (runtime_graph.h) for execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/ids.h"
+
+namespace esp {
+
+/// How task latency is measured for a vertex's UDF (paper §II-A3).
+/// kReadReady suits per-item UDFs (map/filter); kReadWrite suits UDFs that
+/// aggregate several items before emitting (windows).
+enum class LatencyMode { kReadReady, kReadWrite };
+
+/// Communication pattern of a job edge (paper §II-A1 "wiring pattern").
+enum class WiringPattern {
+  kRoundRobin,      ///< each item goes to exactly one consumer, round-robin
+  kKeyPartitioned,  ///< each item goes to the consumer owning its key
+  kBroadcast,       ///< each item is duplicated to every consumer
+  kPointwise,       ///< producer i connects only to consumer i mod p_consumer
+};
+
+/// A vertex of the job graph.
+struct JobVertex {
+  std::string name;
+  std::uint32_t parallelism = 1;      ///< current degree of parallelism p
+  std::uint32_t min_parallelism = 1;  ///< p^min
+  std::uint32_t max_parallelism = 1;  ///< p^max
+  LatencyMode latency_mode = LatencyMode::kReadReady;
+  bool elastic = false;  ///< whether the elastic scaler may change p
+
+  std::vector<JobEdgeId> inputs;
+  std::vector<JobEdgeId> outputs;
+};
+
+/// An edge of the job graph.
+struct JobEdge {
+  JobVertexId source;
+  JobVertexId target;
+  WiringPattern pattern = WiringPattern::kRoundRobin;
+};
+
+/// Parameters for adding a vertex; see JobVertex for field meanings.
+struct VertexSpec {
+  std::string name;
+  std::uint32_t parallelism = 1;
+  std::uint32_t min_parallelism = 1;
+  std::uint32_t max_parallelism = 1;
+  LatencyMode latency_mode = LatencyMode::kReadReady;
+  bool elastic = false;
+};
+
+/// Directed acyclic job graph.  Mutation is append-only: vertices and edges
+/// can be added but not removed, so ids remain stable for the job's life.
+class JobGraph {
+ public:
+  /// Adds a vertex; throws std::invalid_argument on inconsistent spec
+  /// (e.g. parallelism outside [min, max] or max == 0).
+  JobVertexId AddVertex(const VertexSpec& spec);
+
+  /// Connects source -> target; throws if the edge would create a cycle or
+  /// references unknown vertices.
+  JobEdgeId Connect(JobVertexId source, JobVertexId target,
+                    WiringPattern pattern = WiringPattern::kRoundRobin);
+
+  const JobVertex& vertex(JobVertexId id) const;
+  const JobEdge& edge(JobEdgeId id) const;
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// All vertex ids in insertion order.
+  std::vector<JobVertexId> VertexIds() const;
+
+  /// All edge ids in insertion order.
+  std::vector<JobEdgeId> EdgeIds() const;
+
+  /// Vertices with no inputs (stream sources).
+  std::vector<JobVertexId> SourceVertices() const;
+
+  /// Vertices with no outputs (sinks).
+  std::vector<JobVertexId> SinkVertices() const;
+
+  /// Vertex ids in a topological order.
+  std::vector<JobVertexId> TopologicalOrder() const;
+
+  /// Looks a vertex up by name; throws std::out_of_range if absent.
+  JobVertexId VertexByName(const std::string& name) const;
+
+  /// Updates the current parallelism of a vertex; throws if out of
+  /// [min, max].  Used by the elastic scaler when actuating scale decisions.
+  void SetParallelism(JobVertexId id, std::uint32_t p);
+
+  /// Sum of current parallelism over all vertices ("total parallelism",
+  /// the paper's resource-footprint objective F).
+  std::uint64_t TotalParallelism() const;
+
+ private:
+  bool WouldCreateCycle(JobVertexId source, JobVertexId target) const;
+
+  std::vector<JobVertex> vertices_;
+  std::vector<JobEdge> edges_;
+};
+
+}  // namespace esp

@@ -1,0 +1,98 @@
+#include "graph/runtime_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp {
+namespace {
+
+const std::vector<ChannelId> kNoChannels;
+
+}  // namespace
+
+RuntimeGraph RuntimeGraph::Expand(const JobGraph& graph) {
+  RuntimeGraph rg;
+
+  for (JobVertexId v : graph.VertexIds()) {
+    const std::uint32_t p = graph.vertex(v).parallelism;
+    std::vector<TaskId> tasks;
+    tasks.reserve(p);
+    for (std::uint32_t i = 0; i < p; ++i) tasks.push_back(TaskId{v, i});
+    rg.task_count_ += tasks.size();
+    rg.vertex_tasks_.emplace(Value(v), std::move(tasks));
+  }
+
+  for (JobEdgeId e : graph.EdgeIds()) {
+    const JobEdge& edge = graph.edge(e);
+    const std::uint32_t p_src = graph.vertex(edge.source).parallelism;
+    const std::uint32_t p_dst = graph.vertex(edge.target).parallelism;
+    std::vector<ChannelId> channels;
+
+    switch (edge.pattern) {
+      case WiringPattern::kRoundRobin:
+      case WiringPattern::kKeyPartitioned:
+      case WiringPattern::kBroadcast:
+        // Full bipartite wiring: every producer can reach every consumer.
+        channels.reserve(static_cast<std::size_t>(p_src) * p_dst);
+        for (std::uint32_t i = 0; i < p_src; ++i) {
+          for (std::uint32_t j = 0; j < p_dst; ++j) {
+            channels.push_back(ChannelId{e, i, j});
+          }
+        }
+        break;
+      case WiringPattern::kPointwise: {
+        const std::uint32_t n = std::max(p_src, p_dst);
+        channels.reserve(n);
+        for (std::uint32_t k = 0; k < n; ++k) {
+          channels.push_back(ChannelId{e, k % p_src, k % p_dst});
+        }
+        break;
+      }
+    }
+
+    for (const ChannelId& c : channels) {
+      rg.task_outputs_[TaskId{edge.source, c.producer_subtask}].push_back(c);
+      rg.task_inputs_[TaskId{edge.target, c.consumer_subtask}].push_back(c);
+    }
+    rg.channel_count_ += channels.size();
+    rg.edge_channels_.emplace(Value(e), std::move(channels));
+  }
+
+  return rg;
+}
+
+const std::vector<TaskId>& RuntimeGraph::tasks(JobVertexId v) const {
+  const auto it = vertex_tasks_.find(Value(v));
+  if (it == vertex_tasks_.end()) throw std::out_of_range("RuntimeGraph::tasks: bad vertex");
+  return it->second;
+}
+
+const std::vector<ChannelId>& RuntimeGraph::channels(JobEdgeId e) const {
+  const auto it = edge_channels_.find(Value(e));
+  if (it == edge_channels_.end()) throw std::out_of_range("RuntimeGraph::channels: bad edge");
+  return it->second;
+}
+
+const std::vector<ChannelId>& RuntimeGraph::inputs(const TaskId& t) const {
+  const auto it = task_inputs_.find(t);
+  return it == task_inputs_.end() ? kNoChannels : it->second;
+}
+
+const std::vector<ChannelId>& RuntimeGraph::outputs(const TaskId& t) const {
+  const auto it = task_outputs_.find(t);
+  return it == task_outputs_.end() ? kNoChannels : it->second;
+}
+
+std::vector<TaskId> RuntimeGraph::AllTasks() const {
+  std::vector<TaskId> all;
+  all.reserve(task_count_);
+  for (std::uint32_t v = 0; v < vertex_tasks_.size(); ++v) {
+    const auto it = vertex_tasks_.find(v);
+    if (it != vertex_tasks_.end()) {
+      all.insert(all.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return all;
+}
+
+}  // namespace esp

@@ -1,0 +1,50 @@
+// The runtime graph: the parallelised form of a job graph (paper §II-A2).
+//
+// Each job vertex expands into `parallelism` tasks; each job edge expands
+// into channels according to its wiring pattern.  The expansion is a pure
+// function of the job graph's current parallelism, so the elastic scaler can
+// re-expand after every scaling action.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ids.h"
+#include "graph/job_graph.h"
+
+namespace esp {
+
+/// Immutable expansion of a JobGraph at one parallelism configuration.
+class RuntimeGraph {
+ public:
+  /// Expands `graph` at its current per-vertex parallelism.
+  static RuntimeGraph Expand(const JobGraph& graph);
+
+  /// Tasks of a job vertex, ordered by subtask index.
+  const std::vector<TaskId>& tasks(JobVertexId v) const;
+
+  /// Channels of a job edge.
+  const std::vector<ChannelId>& channels(JobEdgeId e) const;
+
+  /// Input channels of a task (empty for source tasks).
+  const std::vector<ChannelId>& inputs(const TaskId& t) const;
+
+  /// Output channels of a task (empty for sink tasks).
+  const std::vector<ChannelId>& outputs(const TaskId& t) const;
+
+  std::size_t task_count() const { return task_count_; }
+  std::size_t channel_count() const { return channel_count_; }
+
+  /// All tasks in (vertex, subtask) order.
+  std::vector<TaskId> AllTasks() const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<TaskId>> vertex_tasks_;
+  std::unordered_map<std::uint32_t, std::vector<ChannelId>> edge_channels_;
+  std::unordered_map<TaskId, std::vector<ChannelId>> task_inputs_;
+  std::unordered_map<TaskId, std::vector<ChannelId>> task_outputs_;
+  std::size_t task_count_ = 0;
+  std::size_t channel_count_ = 0;
+};
+
+}  // namespace esp

@@ -1,0 +1,91 @@
+#include "graph/sequence.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace esp {
+namespace {
+
+bool IsVertex(const SequenceElement& e) { return std::holds_alternative<JobVertexId>(e); }
+
+}  // namespace
+
+JobSequence::JobSequence(const JobGraph& graph, std::vector<SequenceElement> elements)
+    : elements_(std::move(elements)) {
+  if (elements_.empty()) throw std::invalid_argument("JobSequence: empty");
+
+  for (std::size_t i = 0; i + 1 < elements_.size(); ++i) {
+    const auto& cur = elements_[i];
+    const auto& next = elements_[i + 1];
+    if (IsVertex(cur) == IsVertex(next)) {
+      throw std::invalid_argument("JobSequence: elements must alternate vertex/edge");
+    }
+    if (IsVertex(cur)) {
+      const JobVertexId v = std::get<JobVertexId>(cur);
+      const JobEdgeId e = std::get<JobEdgeId>(next);
+      if (graph.edge(e).source != v) {
+        throw std::invalid_argument("JobSequence: edge does not start at preceding vertex");
+      }
+    } else {
+      const JobEdgeId e = std::get<JobEdgeId>(cur);
+      const JobVertexId v = std::get<JobVertexId>(next);
+      if (graph.edge(e).target != v) {
+        throw std::invalid_argument("JobSequence: edge does not end at following vertex");
+      }
+    }
+  }
+
+  for (const auto& el : elements_) {
+    if (IsVertex(el)) {
+      vertices_.push_back(std::get<JobVertexId>(el));
+    } else {
+      edges_.push_back(std::get<JobEdgeId>(el));
+    }
+  }
+}
+
+JobSequence JobSequence::FromEdgeChain(const JobGraph& graph, std::vector<JobEdgeId> edges) {
+  if (edges.empty()) throw std::invalid_argument("JobSequence::FromEdgeChain: no edges");
+  std::vector<SequenceElement> elements;
+  elements.emplace_back(edges.front());
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    const JobVertexId join = graph.edge(edges[i - 1]).target;
+    if (graph.edge(edges[i]).source != join) {
+      throw std::invalid_argument("JobSequence::FromEdgeChain: edges are not connected");
+    }
+    elements.emplace_back(join);
+    elements.emplace_back(edges[i]);
+  }
+  return JobSequence(graph, std::move(elements));
+}
+
+bool JobSequence::StartsWithVertex() const { return IsVertex(elements_.front()); }
+
+bool JobSequence::EndsWithVertex() const { return IsVertex(elements_.back()); }
+
+std::string JobSequence::ToString(const JobGraph& graph) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& el : elements_) {
+    if (!first) os << " -> ";
+    first = false;
+    if (IsVertex(el)) {
+      os << graph.vertex(std::get<JobVertexId>(el)).name;
+    } else {
+      const auto& e = graph.edge(std::get<JobEdgeId>(el));
+      os << "(" << graph.vertex(e.source).name << "~" << graph.vertex(e.target).name << ")";
+    }
+  }
+  return os.str();
+}
+
+void ValidateConstraint(const LatencyConstraint& constraint) {
+  if (constraint.bound <= 0) {
+    throw std::invalid_argument("LatencyConstraint: bound must be positive");
+  }
+  if (constraint.window <= 0) {
+    throw std::invalid_argument("LatencyConstraint: window must be positive");
+  }
+}
+
+}  // namespace esp

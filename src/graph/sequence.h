@@ -1,0 +1,72 @@
+// Job sequences and latency constraints (paper §II-A4, §II-A5).
+//
+// A job sequence is an n-tuple of connected job vertices and job edges; both
+// the first and the last element may be a vertex or an edge.  A latency
+// constraint (js, l, t) bounds the mean sequence latency of all items
+// traversing the sequence within any window of t time units by l.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+#include "graph/ids.h"
+#include "graph/job_graph.h"
+
+namespace esp {
+
+/// One element of a job sequence: either a job vertex or a job edge.
+using SequenceElement = std::variant<JobVertexId, JobEdgeId>;
+
+/// An alternating, connected path of job vertices and edges.
+class JobSequence {
+ public:
+  /// Builds and validates a sequence.  Throws std::invalid_argument unless
+  /// elements alternate vertex/edge and each edge is incident to the
+  /// neighbouring vertices in flow order (source before, target after).
+  JobSequence(const JobGraph& graph, std::vector<SequenceElement> elements);
+
+  /// Convenience: the unique sequence from `first` to `last` elements given
+  /// as edges, filling in the vertices between them.  E.g. the paper's
+  /// PrimeTester constraint spans (e_src_pt, PrimeTester, e_pt_sink).
+  static JobSequence FromEdgeChain(const JobGraph& graph, std::vector<JobEdgeId> edges);
+
+  const std::vector<SequenceElement>& elements() const { return elements_; }
+
+  /// Job vertices inside the sequence, in flow order (paper's V(js)).
+  const std::vector<JobVertexId>& vertices() const { return vertices_; }
+
+  /// Job edges inside the sequence, in flow order (paper's E(js)).
+  const std::vector<JobEdgeId>& edges() const { return edges_; }
+
+  /// True when the first element is a vertex (its task latency counts).
+  bool StartsWithVertex() const;
+
+  /// True when the last element is a vertex.
+  bool EndsWithVertex() const;
+
+  /// Human-readable "e0 -> V1 -> e1 -> ..." string for logs and errors.
+  std::string ToString(const JobGraph& graph) const;
+
+ private:
+  std::vector<SequenceElement> elements_;
+  std::vector<JobVertexId> vertices_;
+  std::vector<JobEdgeId> edges_;
+};
+
+/// A latency constraint (js, l, t): the mean latency over the items entering
+/// the sequence within any t-window must stay at or below `bound`.
+struct LatencyConstraint {
+  JobSequence sequence;
+  SimDuration bound;   ///< l, the mean-latency upper bound
+  SimDuration window;  ///< t, the averaging window (e.g. 10 s)
+  std::string name;    ///< for reporting
+};
+
+/// Validates a constraint against a graph; throws std::invalid_argument on
+/// non-positive bound/window.
+void ValidateConstraint(const LatencyConstraint& constraint);
+
+}  // namespace esp

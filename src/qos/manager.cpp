@@ -1,0 +1,200 @@
+#include "qos/manager.h"
+
+#include <stdexcept>
+
+namespace esp {
+
+QosReporter::QosReporter(double latency_sample_probability, std::uint64_t rng_seed)
+    : sample_probability_(latency_sample_probability), rng_(rng_seed) {}
+
+TaskSampler& QosReporter::AddTask(const TaskId& task) {
+  auto [it, inserted] = tasks_.emplace(
+      task, std::make_unique<TaskSampler>(sample_probability_, rng_.Next()));
+  if (!inserted) throw std::invalid_argument("QosReporter::AddTask: duplicate task");
+  return *it->second;
+}
+
+ChannelSampler& QosReporter::AddChannel(const ChannelId& channel) {
+  auto [it, inserted] = channels_.emplace(
+      channel, std::make_unique<ChannelSampler>(sample_probability_, rng_.Next()));
+  if (!inserted) throw std::invalid_argument("QosReporter::AddChannel: duplicate channel");
+  return *it->second;
+}
+
+void QosReporter::RemoveTask(const TaskId& task) { tasks_.erase(task); }
+
+void QosReporter::RemoveChannel(const ChannelId& channel) { channels_.erase(channel); }
+
+TaskSampler& QosReporter::task_sampler(const TaskId& task) {
+  const auto it = tasks_.find(task);
+  if (it == tasks_.end()) throw std::out_of_range("QosReporter: unknown task");
+  return *it->second;
+}
+
+ChannelSampler& QosReporter::channel_sampler(const ChannelId& channel) {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end()) throw std::out_of_range("QosReporter: unknown channel");
+  return *it->second;
+}
+
+QosReport QosReporter::TakeReport(SimTime now) {
+  QosReport report;
+  report.time = now;
+  report.tasks.reserve(tasks_.size());
+  for (auto& [id, sampler] : tasks_) report.tasks.emplace_back(id, sampler->Harvest());
+  report.channels.reserve(channels_.size());
+  for (auto& [id, sampler] : channels_) report.channels.emplace_back(id, sampler->Harvest());
+  return report;
+}
+
+QosManager::QosManager(std::size_t history_length) : history_length_(history_length) {
+  if (history_length == 0) throw std::invalid_argument("QosManager: history_length must be >= 1");
+}
+
+void QosManager::Ingest(const QosReport& report) {
+  for (const auto& [task, m] : report.tasks) {
+    // Intervals without any consumed item carry no service/inter-arrival
+    // information; recording them would drag vertex averages toward zero.
+    if (m.items == 0) continue;
+    auto& hist = task_history_[task];
+    hist.push_back(m);
+    while (hist.size() > history_length_) hist.pop_front();
+  }
+  for (const auto& [channel, m] : report.channels) {
+    if (m.items == 0) continue;
+    auto& hist = channel_history_[channel];
+    hist.push_back(m);
+    while (hist.size() > history_length_) hist.pop_front();
+  }
+}
+
+void QosManager::Prune(const RuntimeGraph& rg) {
+  for (auto it = task_history_.begin(); it != task_history_.end();) {
+    const TaskId& t = it->first;
+    bool live = false;
+    // A task is live when its subtask index is below its vertex's current
+    // parallelism in the expanded graph.
+    for (const TaskId& rt : rg.tasks(t.vertex)) {
+      if (rt.subtask == t.subtask) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : task_history_.erase(it);
+  }
+  for (auto it = channel_history_.begin(); it != channel_history_.end();) {
+    const ChannelId& c = it->first;
+    bool live = false;
+    for (const ChannelId& rc : rg.channels(c.edge)) {
+      if (rc == c) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : channel_history_.erase(it);
+  }
+}
+
+void QosManager::DropVertex(JobVertexId vertex, const std::vector<JobEdgeId>& adjacent_edges) {
+  for (auto it = task_history_.begin(); it != task_history_.end();) {
+    it = it->first.vertex == vertex ? task_history_.erase(it) : std::next(it);
+  }
+  for (auto it = channel_history_.begin(); it != channel_history_.end();) {
+    bool adjacent = false;
+    for (JobEdgeId e : adjacent_edges) {
+      if (it->first.edge == e) {
+        adjacent = true;
+        break;
+      }
+    }
+    it = adjacent ? channel_history_.erase(it) : std::next(it);
+  }
+}
+
+PartialSummary QosManager::MakePartialSummary(SimTime now) const {
+  PartialSummary partial;
+  partial.time = now;
+
+  // Per-task averages over history (inner mean of Eq. 2), then accumulate
+  // into per-vertex sums; the weight counts contributing tasks so the merge
+  // step can renormalise.
+  for (const auto& [task, hist] : task_history_) {
+    if (hist.empty()) continue;
+    TaskMeasurement avg;
+    for (const TaskMeasurement& m : hist) {
+      avg.task_latency += m.task_latency;
+      avg.service_mean += m.service_mean;
+      avg.service_cv += m.service_cv;
+      avg.interarrival_mean += m.interarrival_mean;
+      avg.interarrival_cv += m.interarrival_cv;
+      avg.items += m.items;
+    }
+    const double n = static_cast<double>(hist.size());
+    avg.task_latency /= n;
+    avg.service_mean /= n;
+    avg.service_cv /= n;
+    avg.interarrival_mean /= n;
+    avg.interarrival_cv /= n;
+
+    auto& [vs, weight] = partial.vertices[Value(task.vertex)];
+    vs.task_latency += avg.task_latency;
+    vs.service_mean += avg.service_mean;
+    vs.service_cv += avg.service_cv;
+    vs.interarrival_mean += avg.interarrival_mean;
+    vs.interarrival_cv += avg.interarrival_cv;
+    vs.arrival_rate += avg.ArrivalRate();
+    ++weight;
+  }
+  for (auto& [vid, entry] : partial.vertices) {
+    auto& [vs, weight] = entry;
+    const double w = static_cast<double>(weight);
+    vs.task_latency /= w;
+    vs.service_mean /= w;
+    vs.service_cv /= w;
+    vs.interarrival_mean /= w;
+    vs.interarrival_cv /= w;
+    vs.arrival_rate /= w;
+  }
+
+  for (const auto& [channel, hist] : channel_history_) {
+    if (hist.empty()) continue;
+    EdgeSummary avg;
+    for (const ChannelMeasurement& m : hist) {
+      avg.channel_latency += m.channel_latency;
+      avg.output_batch_latency += m.output_batch_latency;
+    }
+    const double n = static_cast<double>(hist.size());
+    avg.channel_latency /= n;
+    avg.output_batch_latency /= n;
+
+    auto& [es, weight] = partial.edges[Value(channel.edge)];
+    es.channel_latency += avg.channel_latency;
+    es.output_batch_latency += avg.output_batch_latency;
+    ++weight;
+  }
+  for (auto& [eid, entry] : partial.edges) {
+    auto& [es, weight] = entry;
+    const double w = static_cast<double>(weight);
+    es.channel_latency /= w;
+    es.output_batch_latency /= w;
+  }
+
+  return partial;
+}
+
+bool EstimateSequenceLatency(const GlobalSummary& summary, const JobSequence& sequence,
+                             double* latency_seconds) {
+  double total = 0.0;
+  for (JobVertexId v : sequence.vertices()) {
+    if (!summary.HasVertex(v)) return false;
+    total += summary.vertex(v).task_latency;
+  }
+  for (JobEdgeId e : sequence.edges()) {
+    if (!summary.HasEdge(e)) return false;
+    total += summary.edge(e).channel_latency;
+  }
+  *latency_seconds = total;
+  return true;
+}
+
+}  // namespace esp

@@ -1,0 +1,65 @@
+#include "qos/sampler.h"
+
+namespace esp {
+
+TaskSampler::TaskSampler(double latency_sample_probability, std::uint64_t rng_seed)
+    : sample_probability_(latency_sample_probability), rng_(rng_seed) {}
+
+void TaskSampler::RecordArrival(SimTime t) {
+  if (last_arrival_ >= 0) {
+    interarrival_.Add(ToSeconds(t - last_arrival_));
+  }
+  last_arrival_ = t;
+  ++items_;
+}
+
+void TaskSampler::RecordServiceTime(double seconds) { service_.Add(seconds); }
+
+void TaskSampler::OfferTaskLatency(double seconds) {
+  if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
+    latency_.Add(seconds);
+  }
+}
+
+TaskMeasurement TaskSampler::Harvest() {
+  TaskMeasurement m;
+  m.task_latency = latency_.Mean();
+  m.service_mean = service_.Mean();
+  m.service_cv = service_.Cv();
+  m.interarrival_mean = interarrival_.Mean();
+  m.interarrival_cv = interarrival_.Cv();
+  m.items = items_;
+  service_.Reset();
+  interarrival_.Reset();
+  latency_.Reset();
+  items_ = 0;
+  return m;
+}
+
+ChannelSampler::ChannelSampler(double latency_sample_probability, std::uint64_t rng_seed)
+    : sample_probability_(latency_sample_probability), rng_(rng_seed) {}
+
+void ChannelSampler::OfferChannelLatency(double seconds) {
+  if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
+    channel_latency_.Add(seconds);
+  }
+}
+
+void ChannelSampler::OfferOutputBatchLatency(double seconds) {
+  if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
+    batch_latency_.Add(seconds);
+  }
+}
+
+ChannelMeasurement ChannelSampler::Harvest() {
+  ChannelMeasurement m;
+  m.channel_latency = channel_latency_.Mean();
+  m.output_batch_latency = batch_latency_.Mean();
+  m.items = items_;
+  channel_latency_.Reset();
+  batch_latency_.Reset();
+  items_ = 0;
+  return m;
+}
+
+}  // namespace esp

@@ -1,0 +1,82 @@
+// Per-task and per-channel metric samplers (paper Table I, "measured by
+// random sampling").
+//
+// A sampler accumulates observations during one measurement interval and is
+// harvested (read + reset) by the QoS reporter that owns it.  Task-latency
+// observations are subsampled with a configurable probability to bound
+// measurement overhead, mirroring the paper's random-sampling approach.
+#pragma once
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "qos/summary.h"
+
+namespace esp {
+
+/// Collects one task's Table-I metrics during a measurement interval.
+class TaskSampler {
+ public:
+  /// `latency_sample_probability` controls which items contribute a task
+  /// latency observation (service/interarrival times are always tracked,
+  /// they are byproducts of normal queue operation).
+  explicit TaskSampler(double latency_sample_probability = 1.0,
+                       std::uint64_t rng_seed = 1);
+
+  /// Records that the task consumed an item at time `t`; maintains the
+  /// inter-arrival statistics A_v.
+  void RecordArrival(SimTime t);
+
+  /// Records how long the task was busy with one item (service time S_v),
+  /// in seconds.
+  void RecordServiceTime(double seconds);
+
+  /// Offers a task-latency observation (read-ready or read-write, chosen by
+  /// the UDF); it is kept with the configured sampling probability.
+  void OfferTaskLatency(double seconds);
+
+  /// Returns the interval's aggregate measurement and resets interval state.
+  /// Inter-arrival tracking continues across intervals (the previous arrival
+  /// time is retained) so no gap statistics are lost.
+  TaskMeasurement Harvest();
+
+  /// Items consumed since the last harvest.
+  std::uint64_t items() const { return items_; }
+
+ private:
+  double sample_probability_;
+  Rng rng_;
+  RunningStats service_;
+  RunningStats interarrival_;
+  RunningStats latency_;
+  SimTime last_arrival_ = -1;
+  std::uint64_t items_ = 0;
+};
+
+/// Collects one channel's Table-I metrics during a measurement interval.
+class ChannelSampler {
+ public:
+  explicit ChannelSampler(double latency_sample_probability = 1.0,
+                          std::uint64_t rng_seed = 1);
+
+  /// Offers an emit-to-consume latency observation (l_e), in seconds.
+  void OfferChannelLatency(double seconds);
+
+  /// Offers an output-batch wait observation (obl_e), in seconds.
+  void OfferOutputBatchLatency(double seconds);
+
+  /// Counts one item shipped through the channel.
+  void CountItem() { ++items_; }
+
+  /// Returns the interval's aggregate measurement and resets interval state.
+  ChannelMeasurement Harvest();
+
+ private:
+  double sample_probability_;
+  Rng rng_;
+  RunningStats channel_latency_;
+  RunningStats batch_latency_;
+  std::uint64_t items_ = 0;
+};
+
+}  // namespace esp

@@ -1,0 +1,60 @@
+#include "qos/summary.h"
+
+namespace esp {
+
+GlobalSummary MergeSummaries(const std::vector<PartialSummary>& partials) {
+  GlobalSummary global;
+
+  std::unordered_map<std::uint32_t, std::size_t> vertex_weight;
+  std::unordered_map<std::uint32_t, std::size_t> edge_weight;
+
+  for (const PartialSummary& p : partials) {
+    if (p.time > global.time) global.time = p.time;
+
+    for (const auto& [vid, entry] : p.vertices) {
+      const auto& [vs, w] = entry;
+      if (w == 0) continue;
+      VertexSummary& acc = global.vertices[vid];
+      const double wd = static_cast<double>(w);
+      acc.task_latency += vs.task_latency * wd;
+      acc.service_mean += vs.service_mean * wd;
+      acc.service_cv += vs.service_cv * wd;
+      acc.interarrival_mean += vs.interarrival_mean * wd;
+      acc.interarrival_cv += vs.interarrival_cv * wd;
+      acc.arrival_rate += vs.arrival_rate * wd;
+      vertex_weight[vid] += w;
+    }
+
+    for (const auto& [eid, entry] : p.edges) {
+      const auto& [es, w] = entry;
+      if (w == 0) continue;
+      EdgeSummary& acc = global.edges[eid];
+      const double wd = static_cast<double>(w);
+      acc.channel_latency += es.channel_latency * wd;
+      acc.output_batch_latency += es.output_batch_latency * wd;
+      edge_weight[eid] += w;
+    }
+  }
+
+  for (auto& [vid, vs] : global.vertices) {
+    const double w = static_cast<double>(vertex_weight[vid]);
+    vs.task_latency /= w;
+    vs.service_mean /= w;
+    vs.service_cv /= w;
+    vs.interarrival_mean /= w;
+    vs.interarrival_cv /= w;
+    vs.arrival_rate /= w;
+    // The contributing-task count is the parallelism the rates were
+    // observed at (partial weights sum to the vertex's active task count).
+    vs.measured_parallelism = w;
+  }
+  for (auto& [eid, es] : global.edges) {
+    const double w = static_cast<double>(edge_weight[eid]);
+    es.channel_latency /= w;
+    es.output_batch_latency /= w;
+  }
+
+  return global;
+}
+
+}  // namespace esp

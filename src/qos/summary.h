@@ -1,0 +1,104 @@
+// Measurement summaries exchanged between QoS managers and the master
+// (paper §IV-B, §IV-C1, Table I).
+//
+// QoS reporters sample raw task/channel metrics once per *measurement
+// interval*.  QoS managers fold the last m measurements of their assigned
+// tasks/channels into a *partial summary* once per *adjustment interval*.
+// The master merges all partial summaries into the *global summary* that
+// seeds the latency model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "graph/ids.h"
+
+namespace esp {
+
+/// Raw per-task metrics for one measurement interval (Table I, upper half).
+/// All times are in seconds.
+struct TaskMeasurement {
+  double task_latency = 0.0;       ///< l_v: mean task latency (RR or RW)
+  double service_mean = 0.0;       ///< mean of S_v
+  double service_cv = 0.0;         ///< c_S = sqrt(Var(S_v)) / mean(S_v)
+  double interarrival_mean = 0.0;  ///< mean of A_v
+  double interarrival_cv = 0.0;    ///< c_A
+  std::uint64_t items = 0;         ///< items consumed during the interval
+
+  /// lambda_v = 1 / mean(A_v); 0 when no arrivals were observed.
+  double ArrivalRate() const { return interarrival_mean > 0 ? 1.0 / interarrival_mean : 0.0; }
+
+  /// rho_v = lambda_v * mean(S_v).
+  double Utilization() const { return ArrivalRate() * service_mean; }
+};
+
+/// Raw per-channel metrics for one measurement interval.
+struct ChannelMeasurement {
+  double channel_latency = 0.0;       ///< l_e: emit-to-consume latency
+  double output_batch_latency = 0.0;  ///< obl_e: wait due to output batching
+  std::uint64_t items = 0;
+};
+
+/// One reporter's payload for a measurement interval.
+struct QosReport {
+  SimTime time = 0;
+  std::vector<std::pair<TaskId, TaskMeasurement>> tasks;
+  std::vector<std::pair<ChannelId, ChannelMeasurement>> channels;
+};
+
+/// Aggregated per-job-vertex values (the tuple of paper §IV-C1).
+struct VertexSummary {
+  double task_latency = 0.0;       ///< l_jv
+  double service_mean = 0.0;       ///< mean(S_jv)
+  double service_cv = 0.0;         ///< c_{S_jv}
+  double interarrival_mean = 0.0;  ///< mean(A_jv)
+  double interarrival_cv = 0.0;    ///< c_{A_jv}
+  double arrival_rate = 0.0;       ///< lambda_jv (per-task rate)
+
+  /// Number of tasks that contributed measurements -- the parallelism the
+  /// per-task rates were observed at.  The latency model's a/b terms embed
+  /// this value (Eq. 5's p), NOT the graph's current parallelism: right
+  /// after a scaling action the two differ until fresh measurements arrive,
+  /// and mixing them would corrupt the prediction.
+  double measured_parallelism = 0.0;
+
+  /// rho_jv = lambda_jv * mean(S_jv) at the measured parallelism.
+  double Utilization() const { return arrival_rate * service_mean; }
+};
+
+/// Aggregated per-job-edge values.
+struct EdgeSummary {
+  double channel_latency = 0.0;       ///< l_je
+  double output_batch_latency = 0.0;  ///< obl_je
+};
+
+/// A QoS manager's summary over the tasks/channels assigned to it.  The
+/// weights carry how many tasks/channels contributed, so the master can
+/// merge partial summaries as weighted averages.
+struct PartialSummary {
+  SimTime time = 0;
+  std::unordered_map<std::uint32_t, std::pair<VertexSummary, std::size_t>> vertices;
+  std::unordered_map<std::uint32_t, std::pair<EdgeSummary, std::size_t>> edges;
+};
+
+/// The master's merged view over all partial summaries.
+struct GlobalSummary {
+  SimTime time = 0;
+  std::unordered_map<std::uint32_t, VertexSummary> vertices;
+  std::unordered_map<std::uint32_t, EdgeSummary> edges;
+
+  bool HasVertex(JobVertexId v) const { return vertices.count(Value(v)) != 0; }
+  bool HasEdge(JobEdgeId e) const { return edges.count(Value(e)) != 0; }
+
+  /// Throws std::out_of_range when the vertex has no data yet.
+  const VertexSummary& vertex(JobVertexId v) const { return vertices.at(Value(v)); }
+  const EdgeSummary& edge(JobEdgeId e) const { return edges.at(Value(e)); }
+};
+
+/// Merges partial summaries into a global one (weighted averages).
+GlobalSummary MergeSummaries(const std::vector<PartialSummary>& partials);
+
+}  // namespace esp

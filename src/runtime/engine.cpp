@@ -1,0 +1,642 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "qos/sampler.h"
+
+namespace esp::runtime {
+
+using std::chrono::nanoseconds;
+using std::chrono::steady_clock;
+
+// ---------------------------------------------------------------- entities
+
+struct LocalEngine::Channel {
+  ChannelId id{};
+  std::uint32_t edge = 0;
+  std::uint32_t index = 0;
+  LocalTask* consumer = nullptr;
+
+  std::mutex mutex;
+  std::vector<Envelope> buffer;       // guarded by mutex
+  std::int64_t first_entry_ns = 0;    // guarded by mutex
+  ChannelSampler sampler{1.0, 1};     // guarded by mutex
+};
+
+struct LocalEngine::LocalTask {
+  TaskId id{};
+  std::string vertex_name;
+  bool is_source = false;
+  bool is_sink = false;
+  LatencyMode latency_mode = LatencyMode::kReadReady;
+
+  std::unique_ptr<Udf> udf;
+  std::unique_ptr<SourceFunction> source;
+  std::unique_ptr<BoundedQueue<Envelope>> queue;  // null for sources
+  std::thread thread;
+
+  std::vector<std::vector<Channel*>> outputs;  // per output edge, per epoch
+  std::vector<std::uint32_t> rr;               // round-robin counters
+  std::atomic<int> remaining_producers{0};
+  std::atomic<bool> busy{false};
+  std::atomic<bool> done{false};
+  bool epoch_member = true;  // false once replaced by a rescale
+
+  std::mutex sampler_mutex;
+  TaskSampler sampler{1.0, 1};
+  std::vector<std::int64_t> rw_pending;  // task-thread only
+  std::int64_t next_timer_ns = 0;        // task-thread only
+  Rng rng{1};                            // task-thread only
+};
+
+// Routes a UDF's emissions onto the task's output channels.
+class LocalEngine::RoutingCollector final : public Collector {
+ public:
+  RoutingCollector(LocalEngine* engine, LocalTask* task) : engine_(engine), task_(task) {}
+
+  void Emit(Record record, std::uint32_t output_index) override {
+    if (output_index >= task_->outputs.size()) {
+      throw std::out_of_range("Collector::Emit: bad output index in '" +
+                              task_->vertex_name + "'");
+    }
+    if (record.source_emit_ns == 0) record.source_emit_ns = engine_->NowNs();
+    ++emitted_;
+
+    auto& targets = task_->outputs[output_index];
+    if (targets.empty()) return;  // transient during rescale
+    const JobEdgeId edge_id =
+        engine_->graph_.vertex(task_->id.vertex).outputs[output_index];
+    switch (engine_->graph_.edge(edge_id).pattern) {
+      case WiringPattern::kBroadcast:
+        for (Channel* ch : targets) {
+          engine_->Append(*ch, record);  // copies; payload is shared
+        }
+        break;
+      case WiringPattern::kKeyPartitioned:
+        engine_->Append(*targets[record.key % targets.size()], std::move(record));
+        break;
+      case WiringPattern::kRoundRobin:
+      case WiringPattern::kPointwise:
+        engine_->Append(
+            *targets[task_->rr[output_index]++ % targets.size()], std::move(record));
+        break;
+    }
+  }
+
+  std::uint64_t TakeEmitted() {
+    const std::uint64_t n = emitted_;
+    emitted_ = 0;
+    return n;
+  }
+
+ private:
+  LocalEngine* engine_;
+  LocalTask* task_;
+  std::uint64_t emitted_ = 0;
+};
+
+// ------------------------------------------------------------ construction
+
+LocalEngine::LocalEngine(JobGraph graph, LocalEngineOptions options)
+    : graph_(std::move(graph)), options_(options), scaler_(options.scaler) {
+  managers_.reserve(options_.qos_manager_count);
+  for (std::size_t i = 0; i < options_.qos_manager_count; ++i) {
+    managers_.emplace_back(options_.qos_history);
+  }
+  for (JobEdgeId e : graph_.EdgeIds()) {
+    edge_deadlines_[Value(e)].store(options_.batching.min_deadline);
+  }
+}
+
+LocalEngine::~LocalEngine() {
+  shutdown_.store(true);
+  control_cv_.notify_all();
+  for (auto& task : tasks_) {
+    if (task->queue) task->queue->Close();
+  }
+  for (auto& task : tasks_) {
+    if (task->thread.joinable()) task->thread.join();
+  }
+}
+
+void LocalEngine::SetUdf(const std::string& vertex_name, UdfFactory factory) {
+  graph_.VertexByName(vertex_name);
+  udf_factories_[vertex_name] = std::move(factory);
+}
+
+void LocalEngine::SetSource(const std::string& vertex_name, SourceFunctionFactory factory) {
+  const JobVertexId v = graph_.VertexByName(vertex_name);
+  if (!graph_.vertex(v).inputs.empty()) {
+    throw std::invalid_argument("SetSource: vertex '" + vertex_name + "' has inputs");
+  }
+  source_factories_[vertex_name] = std::move(factory);
+}
+
+void LocalEngine::AddConstraint(const LatencyConstraint& constraint) {
+  ValidateConstraint(constraint);
+  constraints_.push_back(constraint);
+}
+
+std::int64_t LocalEngine::NowNs() const {
+  return std::chrono::duration_cast<nanoseconds>(steady_clock::now() - epoch_zero_)
+      .count();
+}
+
+SimDuration LocalEngine::FlushDeadlineForEdge(std::uint32_t edge) const {
+  const auto it = edge_deadlines_.find(edge);
+  return it == edge_deadlines_.end() ? options_.batching.min_deadline : it->second.load();
+}
+
+// ------------------------------------------------------------- batch paths
+
+void LocalEngine::Append(Channel& channel, Record record) {
+  std::vector<Envelope> flushed;
+  {
+    std::lock_guard<std::mutex> lock(channel.mutex);
+    const std::int64_t now = NowNs();
+    if (channel.buffer.empty()) channel.first_entry_ns = now;
+    Envelope env;
+    env.record = std::move(record);
+    env.channel_emit_ns = now;
+    env.channel = channel.index;
+    channel.buffer.push_back(std::move(env));
+
+    bool flush_now = false;
+    switch (options_.shipping) {
+      case ShippingStrategy::kInstantFlush:
+        flush_now = true;
+        break;
+      case ShippingStrategy::kFixedBuffer:
+        flush_now = channel.buffer.size() >= options_.batch_capacity;
+        break;
+      case ShippingStrategy::kAdaptive:
+        flush_now = channel.buffer.size() >= options_.batch_capacity ||
+                    now - channel.first_entry_ns >= FlushDeadlineForEdge(channel.edge);
+        break;
+    }
+    if (flush_now) {
+      for (const Envelope& e : channel.buffer) {
+        channel.sampler.OfferOutputBatchLatency(
+            static_cast<double>(now - e.channel_emit_ns) * 1e-9);
+        channel.sampler.CountItem();
+      }
+      flushed.swap(channel.buffer);
+    }
+  }
+  if (!flushed.empty()) DeliverBatch(channel, std::move(flushed));
+}
+
+void LocalEngine::FlushChannel(Channel& channel, bool force) {
+  std::vector<Envelope> flushed;
+  {
+    std::lock_guard<std::mutex> lock(channel.mutex);
+    if (channel.buffer.empty()) return;
+    const std::int64_t now = NowNs();
+    const bool expired = options_.shipping == ShippingStrategy::kAdaptive &&
+                         now - channel.first_entry_ns >= FlushDeadlineForEdge(channel.edge);
+    if (!force && !expired) return;
+    for (const Envelope& e : channel.buffer) {
+      channel.sampler.OfferOutputBatchLatency(
+          static_cast<double>(now - e.channel_emit_ns) * 1e-9);
+      channel.sampler.CountItem();
+    }
+    flushed.swap(channel.buffer);
+  }
+  DeliverBatch(channel, std::move(flushed));
+}
+
+void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>&& batch) {
+  // Blocking push: this is the backpressure path.
+  channel.consumer->queue->PushAll(std::move(batch));
+}
+
+void LocalEngine::FlushExpired(LocalTask* task) {
+  for (auto& per_edge : task->outputs) {
+    for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/false);
+  }
+}
+
+// ------------------------------------------------------------ thread loops
+
+void LocalEngine::ReportTaskFailure(LocalTask* task, const std::string& what) {
+  ESP_LOG_ERROR << "task " << task->vertex_name << "[" << task->id.subtask
+                << "] failed: " << what;
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (result_.failure.empty()) {
+    result_.failure = task->vertex_name + "[" + std::to_string(task->id.subtask) +
+                      "]: " + what;
+  }
+}
+
+void LocalEngine::SourceLoop(LocalTask* task) {
+  RoutingCollector collector(this, task);
+  try {
+    SourceLoopBody(task, collector);
+  } catch (const std::exception& e) {
+    ReportTaskFailure(task, e.what());
+  }
+  for (auto& per_edge : task->outputs) {
+    for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/true);
+  }
+  CloseDownstream(task);
+  task->done.store(true);
+  control_cv_.notify_all();
+}
+
+void LocalEngine::SourceLoopBody(LocalTask* task, RoutingCollector& collector) {
+  for (;;) {
+    if (shutdown_.load()) break;
+    if (pause_requested_.load()) {
+      std::unique_lock<std::mutex> lock(control_mutex_);
+      ++parked_sources_;
+      control_cv_.notify_all();
+      control_cv_.wait(lock, [&] { return !pause_requested_.load() || shutdown_.load(); });
+      --parked_sources_;
+      continue;
+    }
+    task->busy.store(true);
+    const bool more = task->source->Produce(collector);
+    task->busy.store(false);
+    records_emitted_.fetch_add(collector.TakeEmitted());
+    FlushExpired(task);
+    if (!more) break;
+  }
+}
+
+void LocalEngine::TaskLoop(LocalTask* task) {
+  RoutingCollector collector(this, task);
+  try {
+    TaskLoopBody(task, collector);
+  } catch (const std::exception& e) {
+    ReportTaskFailure(task, e.what());
+  }
+  for (auto& per_edge : task->outputs) {
+    for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/true);
+  }
+  if (!shutdown_.load()) CloseDownstream(task);
+  task->done.store(true);
+  control_cv_.notify_all();
+}
+
+void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
+  task->udf->Open();
+  const SimDuration timer_period = task->udf->TimerPeriod();
+  if (timer_period > 0) task->next_timer_ns = NowNs() + timer_period;
+
+  for (;;) {
+    if (shutdown_.load()) break;
+    // busy is raised under the queue lock so the rescale drain detector
+    // never observes "queue empty + idle" while a record is in hand.
+    auto env = task->queue->PopFor(nanoseconds(1'000'000), &task->busy);
+    const std::int64_t now = NowNs();
+
+    if (timer_period > 0 && now >= task->next_timer_ns) {
+      task->busy.store(true);
+      task->udf->OnTimer(collector);
+      task->busy.store(false);
+      task->next_timer_ns += timer_period;
+      if (collector.TakeEmitted() > 0 && !task->rw_pending.empty()) {
+        std::lock_guard<std::mutex> lock(task->sampler_mutex);
+        const std::int64_t t1 = NowNs();
+        for (std::int64_t t : task->rw_pending) {
+          task->sampler.OfferTaskLatency(static_cast<double>(t1 - t) * 1e-9);
+        }
+        task->rw_pending.clear();
+      }
+      FlushExpired(task);
+    }
+    FlushExpired(task);
+
+    if (!env) {
+      if (task->queue->closed() && task->queue->Empty()) break;
+      continue;
+    }
+
+    task->busy.store(true);
+    {
+      std::lock_guard<std::mutex> lock(task->sampler_mutex);
+      task->sampler.RecordArrival(now);
+      Channel& in = *channels_[env->channel];
+      std::lock_guard<std::mutex> ch_lock(in.mutex);
+      in.sampler.OfferChannelLatency(static_cast<double>(now - env->channel_emit_ns) *
+                                     1e-9);
+    }
+
+    const std::int64_t t0 = NowNs();
+    task->udf->OnRecord(env->record, collector);
+    const std::int64_t t1 = NowNs();
+    const bool emitted = collector.TakeEmitted() > 0;
+
+    {
+      std::lock_guard<std::mutex> lock(task->sampler_mutex);
+      const double service = static_cast<double>(t1 - t0) * 1e-9;
+      task->sampler.RecordServiceTime(service);
+      if (task->latency_mode == LatencyMode::kReadReady) {
+        task->sampler.OfferTaskLatency(service);
+      } else {
+        if (task->rw_pending.size() < 256 &&
+            task->rng.Bernoulli(options_.latency_sample_probability)) {
+          task->rw_pending.push_back(t0);
+        }
+        if (emitted) {
+          for (std::int64_t t : task->rw_pending) {
+            task->sampler.OfferTaskLatency(static_cast<double>(t1 - t) * 1e-9);
+          }
+          task->rw_pending.clear();
+        }
+      }
+    }
+
+    if (task->is_sink && env->record.source_emit_ns != 0) {
+      records_delivered_.fetch_add(1);
+      std::lock_guard<std::mutex> lock(latency_mutex_);
+      result_.latency.Add(static_cast<double>(t1 - env->record.source_emit_ns) * 1e-9);
+    }
+    task->busy.store(false);
+  }
+
+  // End of stream: fire a final window so buffered aggregates are not lost.
+  if (timer_period > 0 && !shutdown_.load()) task->udf->OnTimer(collector);
+  task->udf->Close();
+}
+
+void LocalEngine::CloseDownstream(LocalTask* task) {
+  for (auto& per_edge : task->outputs) {
+    for (Channel* ch : per_edge) {
+      if (ch->consumer->remaining_producers.fetch_sub(1) == 1) {
+        ch->consumer->queue->Close();
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- epoch mgmt
+
+void LocalEngine::BuildEpoch() {
+  const RuntimeGraph rg = RuntimeGraph::Expand(graph_);
+
+  // Keep source tasks (their SourceFunction state persists across
+  // rescales); everything else is rebuilt.
+  std::vector<std::unique_ptr<LocalTask>> kept;
+  for (auto& task : tasks_) {
+    if (task->is_source) kept.push_back(std::move(task));
+  }
+  tasks_.clear();
+  channels_.clear();
+
+  std::unordered_map<TaskId, LocalTask*> by_id;
+  Rng seeder(0xE5Cu);
+
+  for (JobVertexId v : graph_.VertexIds()) {
+    const JobVertex& jv = graph_.vertex(v);
+    for (const TaskId& tid : rg.tasks(v)) {
+      std::unique_ptr<LocalTask> task;
+      if (jv.inputs.empty()) {
+        // Reuse the existing source task if the epoch change kept it.
+        for (auto& k : kept) {
+          if (k && k->id == tid) {
+            task = std::move(k);
+            break;
+          }
+        }
+      }
+      if (!task) {
+        task = std::make_unique<LocalTask>();
+        task->id = tid;
+        task->vertex_name = jv.name;
+        task->is_source = jv.inputs.empty();
+        task->is_sink = jv.outputs.empty();
+        task->rng = Rng(seeder.Next());
+        if (task->is_source) {
+          const auto it = source_factories_.find(jv.name);
+          if (it == source_factories_.end()) {
+            throw std::logic_error("LocalEngine: no source factory for '" + jv.name + "'");
+          }
+          task->source = it->second(tid.subtask);
+        } else {
+          const auto it = udf_factories_.find(jv.name);
+          if (it == udf_factories_.end()) {
+            throw std::logic_error("LocalEngine: no UDF factory for '" + jv.name + "'");
+          }
+          task->udf = it->second(tid.subtask);
+          task->latency_mode = task->udf->latency_mode();
+          task->queue = std::make_unique<BoundedQueue<Envelope>>(options_.queue_capacity);
+        }
+      }
+      task->outputs.assign(jv.outputs.size(), {});
+      task->rr.assign(jv.outputs.size(), 0);
+      task->remaining_producers.store(0);
+      by_id[tid] = task.get();
+      tasks_.push_back(std::move(task));
+    }
+  }
+
+  for (JobEdgeId e : graph_.EdgeIds()) {
+    const JobEdge& edge = graph_.edge(e);
+    // Which output slot of the source vertex this edge occupies.
+    std::uint32_t slot = 0;
+    const auto& outs = graph_.vertex(edge.source).outputs;
+    for (std::uint32_t i = 0; i < outs.size(); ++i) {
+      if (outs[i] == e) slot = i;
+    }
+    for (const ChannelId& cid : rg.channels(e)) {
+      auto channel = std::make_unique<Channel>();
+      channel->id = cid;
+      channel->edge = Value(e);
+      channel->index = static_cast<std::uint32_t>(channels_.size());
+      channel->consumer = by_id.at(TaskId{edge.target, cid.consumer_subtask});
+      by_id.at(TaskId{edge.source, cid.producer_subtask})
+          ->outputs[slot]
+          .push_back(channel.get());
+      channel->consumer->remaining_producers.fetch_add(1);
+      channels_.push_back(std::move(channel));
+    }
+  }
+}
+
+void LocalEngine::StartThreads() {
+  for (auto& task : tasks_) {
+    if (task->thread.joinable()) continue;  // surviving source thread
+    LocalTask* raw = task.get();
+    task->thread = raw->is_source ? std::thread([this, raw] { SourceLoop(raw); })
+                                  : std::thread([this, raw] { TaskLoop(raw); });
+  }
+}
+
+void LocalEngine::Rescale(const std::vector<ScalingAction>& actions) {
+  // 1. Park the sources.  A source can FINISH instead of parking (Produce
+  // returned false just as the pause was requested), so the wait recounts
+  // the still-live sources on every wakeup.
+  pause_requested_.store(true);
+  {
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    control_cv_.wait(lock, [&] {
+      std::uint32_t live = 0;
+      for (auto& task : tasks_) {
+        if (task->is_source && !task->done.load()) ++live;
+      }
+      return parked_sources_.load() >= live;
+    });
+  }
+
+  // 2. Flush parked sources' buffers and wait for the flow to drain.
+  for (auto& task : tasks_) {
+    if (!task->is_source) continue;
+    for (auto& per_edge : task->outputs) {
+      for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/true);
+    }
+  }
+  const auto drained = [&] {
+    for (auto& task : tasks_) {
+      if (task->is_source || task->done.load()) continue;
+      if (task->busy.load() || !task->queue->Empty()) return false;
+    }
+    for (auto& channel : channels_) {
+      std::lock_guard<std::mutex> lock(channel->mutex);
+      if (!channel->buffer.empty()) return false;
+    }
+    return true;
+  };
+  int stable = 0;
+  while (stable < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    stable = drained() ? stable + 1 : 0;
+  }
+
+  // 3. Stop and join the non-source task threads.
+  for (auto& task : tasks_) {
+    if (!task->is_source && task->queue) task->queue->Close();
+  }
+  for (auto& task : tasks_) {
+    if (!task->is_source && task->thread.joinable()) task->thread.join();
+  }
+
+  // 4. Apply the new parallelism and rebuild the epoch.
+  for (const ScalingAction& a : actions) {
+    graph_.SetParallelism(a.vertex, a.new_parallelism);
+  }
+  BuildEpoch();
+  StartThreads();
+  ++result_.rescales;
+
+  // 5. Resume the sources.
+  pause_requested_.store(false);
+  control_cv_.notify_all();
+}
+
+// ------------------------------------------------------------ control loop
+
+void LocalEngine::ControlTick() {
+  // Harvest all samplers into sharded QoS reports (paper Fig. 4).
+  std::vector<QosReport> shards(managers_.size());
+  const SimTime now = NowNs();
+  for (auto& task : tasks_) {
+    if (task->done.load()) continue;
+    TaskMeasurement m;
+    {
+      std::lock_guard<std::mutex> lock(task->sampler_mutex);
+      m = task->sampler.Harvest();
+    }
+    shards[std::hash<TaskId>{}(task->id) % shards.size()].tasks.emplace_back(task->id, m);
+  }
+  for (auto& channel : channels_) {
+    ChannelMeasurement m;
+    {
+      std::lock_guard<std::mutex> lock(channel->mutex);
+      m = channel->sampler.Harvest();
+    }
+    shards[std::hash<ChannelId>{}(channel->id) % shards.size()].channels.emplace_back(
+        channel->id, m);
+  }
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    shards[i].time = now;
+    managers_[i].Ingest(shards[i]);
+  }
+}
+
+bool LocalEngine::AllTasksFinished() {
+  for (auto& task : tasks_) {
+    if (!task->done.load()) return false;
+  }
+  return true;
+}
+
+EngineResult LocalEngine::Run(SimDuration max_duration) {
+  if (ran_) throw std::logic_error("LocalEngine::Run: already ran");
+  ran_ = true;
+  epoch_zero_ = steady_clock::now();
+
+  BuildEpoch();
+  StartThreads();
+
+  const std::int64_t measurement_ns = options_.measurement_interval;
+  const std::uint32_t ticks_per_adjustment = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(options_.adjustment_interval /
+                                    std::max<SimDuration>(1, measurement_ns)));
+  std::int64_t next_tick = measurement_ns;
+  std::uint32_t tick = 0;
+
+  while (!AllTasksFinished()) {
+    if (max_duration > 0 && NowNs() >= max_duration) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (NowNs() < next_tick) continue;
+    next_tick += measurement_ns;
+    ControlTick();
+
+    if (++tick % ticks_per_adjustment != 0) continue;
+
+    std::vector<PartialSummary> partials;
+    partials.reserve(managers_.size());
+    for (QosManager& m : managers_) partials.push_back(m.MakePartialSummary(NowNs()));
+    last_summary_ = MergeSummaries(partials);
+
+    std::vector<double> estimates;
+    for (const LatencyConstraint& c : constraints_) {
+      double est = 0;
+      estimates.push_back(EstimateSequenceLatency(last_summary_, c.sequence, &est) ? est
+                                                                                   : -1.0);
+    }
+    result_.estimated_latency.push_back(std::move(estimates));
+
+    if (options_.shipping == ShippingStrategy::kAdaptive && !constraints_.empty()) {
+      last_deadlines_ = ComputeFlushDeadlines(graph_, constraints_, last_summary_,
+                                              last_deadlines_, options_.batching);
+      for (const auto& [edge, deadline] : last_deadlines_) {
+        edge_deadlines_[edge].store(deadline);
+      }
+    }
+
+    if (options_.scaler.enabled && !constraints_.empty()) {
+      const auto actions = scaler_.Adjust(graph_, constraints_, last_summary_);
+      if (!actions.empty()) {
+        Rescale(actions);
+        scaler_.NotifyApplied(actions);
+        const RuntimeGraph rg = RuntimeGraph::Expand(graph_);
+        for (QosManager& m : managers_) m.Prune(rg);
+      }
+    }
+  }
+
+  // Shut down: close everything and join.
+  shutdown_.store(true);
+  control_cv_.notify_all();
+  for (auto& task : tasks_) {
+    if (task->queue) task->queue->Close();
+  }
+  for (auto& task : tasks_) {
+    if (task->thread.joinable()) task->thread.join();
+  }
+
+  result_.records_emitted = records_emitted_.load();
+  result_.records_delivered = records_delivered_.load();
+  for (JobVertexId v : graph_.VertexIds()) {
+    result_.final_parallelism[graph_.vertex(v).name] = graph_.vertex(v).parallelism;
+  }
+  return std::move(result_);
+}
+
+}  // namespace esp::runtime

@@ -1,0 +1,87 @@
+// Bounded blocking MPSC queue: the input queue of a local-runtime task.
+//
+// Producers block when the queue is full -- this IS the runtime's
+// backpressure (paper §III-B): a slow consumer propagates pressure upstream
+// through blocked pushes exactly like Nephele's bounded channels.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace esp::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks until all items fit or the queue is closed.  Returns false when
+  /// the queue was closed (items are dropped).  A batch larger than the
+  /// capacity is admitted once the queue is empty (no deadlock on oversize
+  /// batches).
+  bool PushAll(std::vector<T>&& items) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return closed_ || queue_.empty() || queue_.size() + items.size() <= capacity_;
+    });
+    if (closed_) return false;
+    for (T& item : items) queue_.push_back(std::move(item));
+    items.clear();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pops one item, waiting up to `timeout`.  Empty optional on timeout or
+  /// when closed-and-drained.  When `mark_busy` is given it is set to true
+  /// UNDER THE QUEUE LOCK iff an item is returned: an observer who sees the
+  /// queue empty and the flag false can conclude no item is in flight (the
+  /// drain detector of stop-the-world rescaling relies on this).
+  std::optional<T> PopFor(std::chrono::nanoseconds timeout,
+                          std::atomic<bool>* mark_busy = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    if (mark_busy != nullptr) mark_busy->store(true);
+    not_full_.notify_all();
+    return item;
+  }
+
+  /// Marks the queue closed; producers unblock, consumers drain what's left.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace esp::runtime

@@ -1,0 +1,46 @@
+// Data records of the threaded local runtime.
+//
+// Unlike the cluster simulator (which abstracts payloads to a byte size),
+// the local runtime moves real values between real threads.  Payloads are
+// type-erased behind a shared_ptr so records stay copyable across broadcast
+// fan-out without copying the payload.  Payload types are a contract
+// between producing and consuming UDFs (like serialised records in a real
+// SPE); Get<T>() does not type-check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace esp::runtime {
+
+struct Record {
+  std::uint64_t key = 0;
+  std::int64_t source_emit_ns = 0;  ///< stamped when a source emitted the
+                                    ///< record's lineage (end-to-end latency)
+  std::uint8_t tag = 0;             ///< record type, UDF-defined
+  std::shared_ptr<const void> payload;
+
+  bool has_payload() const { return payload != nullptr; }
+};
+
+/// Boxes a value into a record payload.
+template <typename T>
+Record MakeRecord(T value, std::uint64_t key = 0, std::uint8_t tag = 0) {
+  Record r;
+  r.key = key;
+  r.tag = tag;
+  r.payload = std::make_shared<const T>(std::move(value));
+  return r;
+}
+
+/// Unboxes a payload; the caller asserts the type (producer/consumer
+/// contract).  Throws std::logic_error only for a missing payload.
+template <typename T>
+const T& Get(const Record& r) {
+  if (!r.payload) throw std::logic_error("Record::Get: no payload");
+  return *static_cast<const T*>(r.payload.get());
+}
+
+}  // namespace esp::runtime

@@ -1,0 +1,87 @@
+// Configuration of the discrete-event cluster simulator.
+//
+// The simulator substitutes for the paper's 130-node commodity cluster (see
+// DESIGN.md §2).  The network model charges CPU both per item and per flush
+// on each side of a channel, which reproduces the paper's central §III
+// observation: batching amortises per-flush overhead, so batched shipping
+// raises the maximum effective throughput (~+58 % for 16 KiB buffers) at
+// the cost of latency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "core/batching.h"
+#include "core/elastic_scaler.h"
+
+namespace esp::sim {
+
+/// Channel/network cost model.  Defaults are calibrated so a ~3 ms UDF task
+/// saturates at ~200 items/s with instant flushing and ~320 items/s with
+/// full 16 KiB batches, matching the paper's Figure 3 ratios.
+struct NetworkConfig {
+  double bandwidth_bytes_per_sec = 125.0e6;  ///< 1 GbE payload bandwidth
+  SimDuration wire_latency = FromMicros(300);
+
+  double emit_item_cpu = 0.00005;     ///< producer CPU per item (serialise)
+  double flush_cpu = 0.0009;          ///< producer CPU per flush (syscalls,
+                                      ///< headers, interrupts)
+  double receive_item_cpu = 0.00005;  ///< consumer CPU per item (deserialise)
+  double receive_batch_cpu = 0.0009;  ///< consumer CPU per received batch
+
+  std::uint32_t buffer_bytes = 16 * 1024;  ///< output buffer capacity
+  std::uint32_t max_inflight_batches = 4;  ///< TCP-window analogue
+  std::uint32_t queue_capacity = 3000;     ///< consumer input queue (items)
+};
+
+/// How the scheduler places new tasks on workers.
+enum class PlacementStrategy {
+  /// Spread: always the least-loaded worker.  Balances CPU but touches many
+  /// nodes, so few can be released after scale-downs.
+  kLeastLoaded,
+  /// Pack: the fullest worker with a free slot.  Concentrates tasks so
+  /// scale-downs empty whole nodes, letting the resource manager release
+  /// their leases (paper §V: Nephele "leases and releases worker nodes as
+  /// required").
+  kCompact,
+};
+
+/// Full simulator configuration.
+struct SimConfig {
+  NetworkConfig network;
+
+  PlacementStrategy placement = PlacementStrategy::kLeastLoaded;
+
+  /// Shipping strategy for ALL channels (the paper's per-run configuration:
+  /// Storm / Nephele-IF == kInstantFlush, Nephele-16KiB == kFixedBuffer,
+  /// Nephele-<l>ms == kAdaptive).
+  ShippingStrategy shipping = ShippingStrategy::kAdaptive;
+
+  SimDuration measurement_interval = FromSeconds(1);  ///< QoS reporter cadence
+  SimDuration adjustment_interval = FromSeconds(5);   ///< global summary cadence
+  SimDuration metrics_window = FromSeconds(10);       ///< evaluation windows
+  std::size_t qos_history = 5;                        ///< m of Eq. 2
+  std::size_t qos_manager_count = 4;                  ///< partial-summary shards
+  double latency_sample_probability = 0.25;           ///< QoS sampling rate
+
+  std::uint32_t workers = 130;
+  std::uint32_t slots_per_worker = 4;
+  SimDuration task_start_delay = FromMillis(1500);  ///< paper: 1-2 s spin-up
+
+  /// How far behind its schedule a source may fall before emission debt is
+  /// dropped (throttling).  Models the small burst a real source thread's
+  /// rate loop absorbs; beyond it, backpressure turns attempted throughput
+  /// into lower effective throughput (paper §III-B).
+  SimDuration source_catchup_window = FromMillis(50);
+
+  /// Probability that an item entering a constrained sequence carries a
+  /// ground-truth latency probe (evaluation only, invisible to the engine).
+  double probe_sample_probability = 0.05;
+
+  ElasticScalerOptions scaler;  ///< scaler.enabled toggles elasticity
+  BatchingPolicyOptions batching;
+
+  std::uint64_t seed = 1;
+};
+
+}  // namespace esp::sim

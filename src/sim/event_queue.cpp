@@ -1,0 +1,26 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace esp::sim {
+
+void EventQueue::Schedule(SimTime when, EventType type, std::uint32_t a, std::uint32_t b,
+                          std::uint32_t generation) {
+  Event e;
+  e.time = std::max(when, now_);
+  e.seq = next_seq_++;
+  e.type = type;
+  e.a = a;
+  e.b = b;
+  e.generation = generation;
+  heap_.push(e);
+}
+
+Event EventQueue::Pop() {
+  Event e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  return e;
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,69 @@
+// Discrete-event engine core: a monotone clock and a time-ordered event
+// heap.  Events are small POD records dispatched by the owning simulation's
+// switch; ties are broken by insertion sequence so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace esp::sim {
+
+/// What an event means; the payload fields a/b identify the target entity.
+enum class EventType : std::uint8_t {
+  kSourceEmit,       ///< a = task index: source tries to emit its next item
+  kServiceDone,      ///< a = task index: current item's service completes
+  kFlushDeadline,    ///< a = channel index: output-batch deadline expired
+  kBatchArrival,     ///< a = channel index, b = batch sequence number
+  kTaskTimer,        ///< a = task index: windowed UDF timer fires
+  kTaskStarted,      ///< a = task index: freshly scheduled task goes live
+  kMeasurementTick,  ///< QoS reporters harvest
+  kAdjustmentTick,   ///< global summary + elastic scaler round
+  kMetricsTick,      ///< evaluation window rollover
+};
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break for equal timestamps
+  EventType type{};
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  /// Generation counter: lets the owner drop stale events cheaply (e.g. a
+  /// kServiceDone scheduled before its task was restarted).
+  std::uint32_t generation = 0;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Schedules an event at absolute time `when` (clamped to now).
+  void Schedule(SimTime when, EventType type, std::uint32_t a = 0, std::uint32_t b = 0,
+                std::uint32_t generation = 0);
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  /// Pops the earliest event and advances the clock to its time.
+  Event Pop();
+
+  /// Earliest pending event time; only valid when not Empty().
+  SimTime PeekTime() const { return heap_.top().time; }
+
+  SimTime Now() const { return now_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& lhs, const Event& rhs) const {
+      if (lhs.time != rhs.time) return lhs.time > rhs.time;
+      return lhs.seq > rhs.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace esp::sim

@@ -1,0 +1,36 @@
+// The simulated data item.
+//
+// Items carry only the timestamps and routing hints the engine needs;
+// payloads are abstracted to a byte size.  A sampled subset of items carries
+// a ground-truth latency probe: the time it entered a constrained sequence.
+// Probes are an evaluation instrument (the figures' "measured latency"); the
+// engine's own decisions see only the QoS summaries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace esp::sim {
+
+inline constexpr std::int8_t kNoProbe = -1;
+
+struct SimItem {
+  SimTime source_emit = 0;    ///< when the originating source emitted it
+  SimTime channel_emit = 0;   ///< when it was emitted into its current channel
+  SimTime buffer_entered = 0; ///< when it entered the output batch buffer
+  SimTime probe_time = 0;     ///< entry into the probed sequence
+  std::uint64_t key = 0;      ///< partitioning key (topic hash etc.)
+  std::uint32_t size_bytes = 0;
+  std::uint8_t tag = 0;       ///< application-level record type (UDF-defined)
+  std::int8_t probe_constraint = kNoProbe;  ///< which constraint the probe is for
+};
+
+/// An item sitting in a consumer's input queue.
+struct QueuedItem {
+  SimItem item;
+  SimTime enqueued = 0;          ///< delivery time into the input queue
+  std::uint32_t channel_index = 0;  ///< dense index of the delivering channel
+};
+
+}  // namespace esp::sim

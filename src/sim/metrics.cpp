@@ -1,0 +1,23 @@
+#include "sim/metrics.h"
+
+namespace esp::sim {
+
+std::vector<double> RunResult::FulfillmentFraction(
+    const std::vector<double>& bounds_seconds) const {
+  std::vector<double> fractions(bounds_seconds.size(), 0.0);
+  for (std::size_t k = 0; k < bounds_seconds.size(); ++k) {
+    std::uint64_t with_data = 0;
+    std::uint64_t fulfilled = 0;
+    for (const AdjustmentRecord& rec : adjustments) {
+      if (k >= rec.measured_latency.size()) continue;
+      const double measured = rec.measured_latency[k];
+      if (measured < 0) continue;  // no probes completed this interval
+      ++with_data;
+      if (measured <= bounds_seconds[k]) ++fulfilled;
+    }
+    fractions[k] = with_data ? static_cast<double>(fulfilled) / with_data : 1.0;
+  }
+  return fractions;
+}
+
+}  // namespace esp::sim

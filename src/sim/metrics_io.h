@@ -1,0 +1,28 @@
+// Tab-separated export of simulation results for external plotting.
+//
+// Each figure bench prints human-readable tables; these writers emit the
+// same data in a machine-friendly form (one header line, one row per
+// window / adjustment interval) so the paper's figures can be regenerated
+// with any plotting tool.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace esp::sim {
+
+/// Writes one row per metrics window: time, rates, per-constraint mean/p95
+/// latency and sample count, per-vertex parallelism, CPU utilization.
+/// `constraint_names` labels the latency columns (may be empty).
+void WriteWindowsTsv(std::ostream& os, const RunResult& result,
+                     const std::vector<std::string>& constraint_names = {});
+
+/// Writes one row per adjustment interval: time, per-constraint measured
+/// and engine-estimated latency (-1 = no data), per-vertex parallelism.
+void WriteAdjustmentsTsv(std::ostream& os, const RunResult& result,
+                         const std::vector<std::string>& constraint_names = {});
+
+}  // namespace esp::sim

@@ -1,0 +1,68 @@
+#include "sim/rate_schedule.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esp::sim {
+
+PiecewiseRate::PiecewiseRate(std::vector<Step> steps) : steps_(std::move(steps)) {
+  if (steps_.empty()) throw std::invalid_argument("PiecewiseRate: no steps");
+  SimTime t = 0;
+  boundaries_.reserve(steps_.size());
+  for (const Step& s : steps_) {
+    if (s.duration <= 0) throw std::invalid_argument("PiecewiseRate: non-positive duration");
+    if (s.rate < 0) throw std::invalid_argument("PiecewiseRate: negative rate");
+    t += s.duration;
+    boundaries_.push_back(t);
+  }
+  end_ = t;
+}
+
+double PiecewiseRate::RateAt(SimTime now) const {
+  if (now >= end_) return 0.0;
+  // Steps are few (tens); a linear scan is cache-friendly and fast enough.
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    if (now < boundaries_[i]) return steps_[i].rate;
+  }
+  return 0.0;
+}
+
+PiecewiseRate MakePrimeTesterSchedule(double warmup_rate, double rate_increment,
+                                      int increments, SimDuration step_duration) {
+  if (increments < 1) throw std::invalid_argument("MakePrimeTesterSchedule: increments >= 1");
+  std::vector<PiecewiseRate::Step> steps;
+  steps.push_back({step_duration, warmup_rate});  // Warm-Up
+  double rate = warmup_rate;
+  for (int i = 0; i < increments; ++i) {  // Increment
+    rate += rate_increment;
+    steps.push_back({step_duration, rate});
+  }
+  steps.push_back({step_duration, rate});  // Plateau
+  for (int i = 0; i < increments; ++i) {  // Decrement
+    rate -= rate_increment;
+    steps.push_back({step_duration, rate});
+  }
+  return PiecewiseRate(std::move(steps));
+}
+
+DiurnalRate::DiurnalRate(const Params& params) : params_(params) {
+  if (params.period <= 0) throw std::invalid_argument("DiurnalRate: period must be positive");
+  if (params.base_rate < 0 || params.amplitude < 0 || params.burst_rate < 0) {
+    throw std::invalid_argument("DiurnalRate: negative rate parameter");
+  }
+}
+
+double DiurnalRate::RateAt(SimTime now) const {
+  if (params_.total > 0 && now >= params_.total) return 0.0;
+  const double phase =
+      2.0 * 3.14159265358979323846 * ToSeconds(now) / ToSeconds(params_.period);
+  double rate = params_.base_rate +
+                params_.amplitude * (1.0 + std::sin(phase - 1.5707963267948966)) / 2.0;
+  if (params_.burst_duration > 0 && now >= params_.burst_start &&
+      now < params_.burst_start + params_.burst_duration) {
+    rate += params_.burst_rate;
+  }
+  return rate;
+}
+
+}  // namespace esp::sim

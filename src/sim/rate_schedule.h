@@ -1,0 +1,82 @@
+// Source emission-rate schedules.
+//
+// PiecewiseRate models the PrimeTester job's phase steps (Warm-Up /
+// Increment / Plateau / Decrement, paper §III-A); DiurnalRate models the
+// TwitterSentiment replay's day/night swing with an optional load burst
+// (paper §V-B: two weeks of tweets compressed into 100 minutes, peaking at
+// 6734 tweets/s on few topics).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+
+namespace esp::sim {
+
+/// Abstract per-task emission rate over simulated time (items/second).
+class RateSchedule {
+ public:
+  virtual ~RateSchedule() = default;
+
+  /// Rate at time `now`; 0 means "paused".
+  virtual double RateAt(SimTime now) const = 0;
+
+  /// Time at which the schedule ends (sources stop); 0 = never.
+  virtual SimTime EndTime() const { return 0; }
+};
+
+/// Step function: holds rates[i] during [boundaries[i-1], boundaries[i]).
+class PiecewiseRate final : public RateSchedule {
+ public:
+  struct Step {
+    SimDuration duration;
+    double rate;
+  };
+
+  explicit PiecewiseRate(std::vector<Step> steps);
+
+  double RateAt(SimTime now) const override;
+  SimTime EndTime() const override { return end_; }
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+  std::vector<SimTime> boundaries_;  // cumulative step end times
+  SimTime end_ = 0;
+};
+
+/// Builds the PrimeTester phase schedule: one warm-up step, `increments`
+/// rising steps, one plateau step at peak, then falling steps back to the
+/// warm-up rate.  All steps last `step_duration`.
+PiecewiseRate MakePrimeTesterSchedule(double warmup_rate, double rate_increment,
+                                      int increments, SimDuration step_duration);
+
+/// Sinusoidal day/night curve with an optional single-interval burst:
+/// rate(t) = base + amplitude * (1 + sin(2 pi t / period - pi/2)) / 2,
+/// plus `burst_rate` during [burst_start, burst_start + burst_duration).
+class DiurnalRate final : public RateSchedule {
+ public:
+  struct Params {
+    double base_rate = 0.0;       ///< nightly minimum
+    double amplitude = 0.0;       ///< day-night swing (peak = base + amplitude)
+    SimDuration period = 0;       ///< one simulated "day"
+    SimDuration total = 0;        ///< schedule end (0 = never)
+    double burst_rate = 0.0;      ///< extra rate during the burst
+    SimTime burst_start = 0;
+    SimDuration burst_duration = 0;
+  };
+
+  explicit DiurnalRate(const Params& params);
+
+  double RateAt(SimTime now) const override;
+  SimTime EndTime() const override { return params_.total; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace esp::sim

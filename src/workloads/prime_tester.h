@@ -1,0 +1,57 @@
+// The PrimeTester job (paper §III-A, §V-A): Source -> PrimeTester -> Sink
+// with a step-wise varying emission rate (Warm-Up / Increment / Plateau /
+// Decrement phases).
+//
+// BuildPrimeTesterSim wires the job into a ClusterSimulation.  The same
+// parameter set drives both the static Figure-3 comparison (fixed
+// parallelism, four shipping configurations) and the elastic Figure-6 runs
+// (PrimeTester parallelism in [p_min, p_max], 20 ms constraint).
+#pragma once
+
+#include <memory>
+
+#include "sim/cluster.h"
+#include "sim/rate_schedule.h"
+
+namespace esp::workloads {
+
+struct PrimeTesterParams {
+  // Topology (paper: 50/200/50 static; 32 sources elastic runs).
+  std::uint32_t sources = 50;
+  std::uint32_t prime_testers = 200;  ///< initial parallelism
+  std::uint32_t sinks = 50;
+  std::uint32_t pt_min_parallelism = 200;  ///< = prime_testers for static runs
+  std::uint32_t pt_max_parallelism = 200;
+  bool elastic = false;
+
+  // Rate schedule, TOTAL across all sources (items/second).
+  double warmup_rate = 10'000.0;
+  double rate_increment = 10'000.0;
+  int increments = 6;
+  SimDuration step_duration = FromSeconds(60);
+
+  // Workload shape.
+  double service_mean = 0.003;  ///< PrimeTester UDF seconds/item
+  double service_cv = 0.3;
+  std::uint32_t item_bytes = 100;
+  double source_interval_cv = 1.0;  ///< Poisson-like emission gaps
+
+  // Latency constraint between Source output and Sink input (paper: 20 ms).
+  SimDuration constraint_bound = FromMillis(20);
+  SimDuration constraint_window = FromSeconds(10);
+};
+
+/// A fully wired PrimeTester simulation plus its constraint metadata.
+struct PrimeTesterSim {
+  std::unique_ptr<sim::ClusterSimulation> sim;
+  SimDuration schedule_length = 0;  ///< total length of the rate schedule
+  double constraint_bound_seconds = 0.0;
+};
+
+/// Builds the job graph, attaches the UDFs and registers the constraint.
+/// `config.shipping` / `config.scaler.enabled` select the paper's run
+/// configuration (Storm == Nephele-IF == kInstantFlush, etc.).
+PrimeTesterSim BuildPrimeTesterSim(const PrimeTesterParams& params,
+                                   const sim::SimConfig& config);
+
+}  // namespace esp::workloads

@@ -1,0 +1,70 @@
+#include "workloads/primes.h"
+
+#include <initializer_list>
+
+namespace esp::workloads {
+namespace {
+
+using u128 = unsigned __int128;
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(u128(a) * b % m);
+}
+
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool MillerRabinWitness(std::uint64_t n, std::uint64_t a, std::uint64_t d, int r) {
+  std::uint64_t x = PowMod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < r; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPrime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                          29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all 64-bit integers
+  // (Sinclair, 2011).
+  for (std::uint64_t a : {2ULL, 325ULL, 9375ULL, 28178ULL, 450775ULL, 9780504ULL,
+                          1795265022ULL}) {
+    if (a % n == 0) continue;
+    if (!MillerRabinWitness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+int PrimeTestBurn(std::uint64_t n, int rounds) {
+  int primes = 0;
+  std::uint64_t v = n | 1;  // odd
+  for (int i = 0; i < rounds; ++i) {
+    if (IsPrime(v)) ++primes;
+    v += 2;
+  }
+  return primes;
+}
+
+}  // namespace esp::workloads

@@ -1,0 +1,23 @@
+// Probable-prime testing, the PrimeTester job's UDF (paper §III-A).
+//
+// The paper uses repeated probabilistic primality tests as a tunable CPU
+// burner.  This is a real deterministic Miller-Rabin for 64-bit integers
+// (deterministic witness set, no false results below 2^64), used by the
+// threaded runtime examples and to calibrate the simulator's service-time
+// distribution.
+#pragma once
+
+#include <cstdint>
+
+namespace esp::workloads {
+
+/// Deterministic Miller-Rabin for 64-bit integers.
+bool IsPrime(std::uint64_t n);
+
+/// Runs IsPrime on `n` and `rounds - 1` derived values, mimicking the
+/// paper's "testing for probable primeness ... done many times" CPU load.
+/// Returns the number of primes found (prevents the loop from being
+/// optimised away).
+int PrimeTestBurn(std::uint64_t n, int rounds);
+
+}  // namespace esp::workloads

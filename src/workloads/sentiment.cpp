@@ -1,0 +1,59 @@
+#include "workloads/sentiment.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace esp::workloads {
+
+SentimentLexicon::SentimentLexicon()
+    : SentimentLexicon(
+          {"amazing", "awesome", "beautiful", "best",  "brilliant", "cool",
+           "excellent", "fantastic", "glad",  "good",  "great",     "happy",
+           "love",      "lovely",    "nice",  "perfect", "thanks",  "win",
+           "wonderful", "wow"},
+          {"angry", "awful", "bad",   "boring", "broken", "fail",  "hate",
+           "horrible", "lose", "mad", "sad",    "sick",   "slow",  "terrible",
+           "ugly",     "worst", "wrong"}) {}
+
+SentimentLexicon::SentimentLexicon(std::vector<std::string> positive,
+                                   std::vector<std::string> negative)
+    : positive_(std::move(positive)), negative_(std::move(negative)) {
+  std::sort(positive_.begin(), positive_.end());
+  std::sort(negative_.begin(), negative_.end());
+}
+
+bool SentimentLexicon::Contains(const std::vector<std::string>& words,
+                                std::string_view token) const {
+  return std::binary_search(words.begin(), words.end(), token);
+}
+
+int SentimentLexicon::Score(std::string_view text) const {
+  int score = 0;
+  std::string token;
+  token.reserve(16);
+  auto flush = [&] {
+    if (!token.empty()) {
+      if (Contains(positive_, token)) ++score;
+      if (Contains(negative_, token)) --score;
+      token.clear();
+    }
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      token.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return score;
+}
+
+Sentiment SentimentLexicon::Classify(std::string_view text) const {
+  const int score = Score(text);
+  if (score > 0) return Sentiment::kPositive;
+  if (score < 0) return Sentiment::kNegative;
+  return Sentiment::kNeutral;
+}
+
+}  // namespace esp::workloads

@@ -1,0 +1,45 @@
+// Lexicon-based sentiment classification.
+//
+// Substitutes for the paper's LingPipe-based sentiment analysis (DESIGN.md
+// §2): the elastic-scaling results depend on the UDF's CPU cost and the
+// load distribution across topics, not on classification quality.  The
+// classifier scores a tweet's text against small positive/negative word
+// lists; the examples and the threaded runtime use it as a real UDF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esp::workloads {
+
+enum class Sentiment : std::int8_t { kNegative = -1, kNeutral = 0, kPositive = 1 };
+
+/// Word-list sentiment scorer.
+class SentimentLexicon {
+ public:
+  /// Builds the default English mini-lexicon.
+  SentimentLexicon();
+
+  /// Custom lexicons (tests).
+  SentimentLexicon(std::vector<std::string> positive, std::vector<std::string> negative);
+
+  /// Tokenises `text` on non-alphanumeric boundaries (lower-cased) and
+  /// returns positive-minus-negative hit count.
+  int Score(std::string_view text) const;
+
+  /// Thresholded Score: >0 positive, <0 negative, 0 neutral.
+  Sentiment Classify(std::string_view text) const;
+
+  const std::vector<std::string>& positive_words() const { return positive_; }
+  const std::vector<std::string>& negative_words() const { return negative_; }
+
+ private:
+  bool Contains(const std::vector<std::string>& words, std::string_view token) const;
+
+  std::vector<std::string> positive_;  // sorted
+  std::vector<std::string> negative_;  // sorted
+};
+
+}  // namespace esp::workloads

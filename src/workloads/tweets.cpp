@@ -1,0 +1,82 @@
+#include "workloads/tweets.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace esp::workloads {
+
+TopicModel::TopicModel(const Params& params)
+    : params_(params), zipf_(params.topics, params.zipf_exponent) {
+  if (params.topics == 0) throw std::invalid_argument("TopicModel: topics must be >= 1");
+  if (params.hot_topics > params.topics) {
+    throw std::invalid_argument("TopicModel: hot_topics exceeds topic count");
+  }
+  if (params.burst_share < 0 || params.burst_share > 1) {
+    throw std::invalid_argument("TopicModel: burst_share must be in [0, 1]");
+  }
+}
+
+bool TopicModel::InBurst(SimTime now) const {
+  return params_.burst_duration > 0 && now >= params_.burst_start &&
+         now < params_.burst_start + params_.burst_duration;
+}
+
+std::uint64_t TopicModel::SampleTopic(SimTime now, Rng& rng) const {
+  if (InBurst(now) && rng.Bernoulli(params_.burst_share)) {
+    return params_.burst_topic + 1;  // ranks are 1-based
+  }
+  return zipf_.Sample(rng);
+}
+
+bool TopicModel::IsHot(std::uint64_t topic, SimTime now) const {
+  if (topic == 0) return false;
+  if (topic <= params_.hot_topics) return true;
+  return InBurst(now) && topic == params_.burst_topic + 1;
+}
+
+namespace {
+
+constexpr std::array<const char*, 10> kPositiveFragments = {
+    "this is awesome", "what a great day",    "love this so much",
+    "best thing ever", "absolutely brilliant", "happy about the news",
+    "such a nice win", "wonderful performance", "thanks everyone",
+    "cool and amazing"};
+
+constexpr std::array<const char*, 10> kNegativeFragments = {
+    "this is terrible",  "what an awful day",   "hate how slow it is",
+    "worst thing ever",  "absolutely horrible", "sad about the news",
+    "such a bad fail",   "boring and broken",   "angry at everything",
+    "ugly and wrong"};
+
+constexpr std::array<const char*, 6> kNeutralFragments = {
+    "just posted a photo", "watching the stream", "heading downtown now",
+    "reading the thread",  "listening to music",  "at the station"};
+
+}  // namespace
+
+TweetGenerator::TweetGenerator(const TopicModel* topics, std::uint64_t seed)
+    : topics_(topics), rng_(seed) {
+  if (topics == nullptr) throw std::invalid_argument("TweetGenerator: null topic model");
+}
+
+Tweet TweetGenerator::Next(SimTime now) {
+  Tweet tweet;
+  tweet.id = next_id_++;
+  tweet.topic = topics_->SampleTopic(now, rng_);
+
+  // Topic parity skews sentiment so per-topic aggregates are non-trivial.
+  const double positive_bias = (tweet.topic % 2 == 0) ? 0.45 : 0.25;
+  const double roll = rng_.NextDouble();
+  const char* fragment;
+  if (roll < positive_bias) {
+    fragment = kPositiveFragments[rng_.UniformInt(0, kPositiveFragments.size() - 1)];
+  } else if (roll < positive_bias + 0.25) {
+    fragment = kNegativeFragments[rng_.UniformInt(0, kNegativeFragments.size() - 1)];
+  } else {
+    fragment = kNeutralFragments[rng_.UniformInt(0, kNeutralFragments.size() - 1)];
+  }
+  tweet.text = "#topic" + std::to_string(tweet.topic) + " " + fragment;
+  return tweet;
+}
+
+}  // namespace esp::workloads

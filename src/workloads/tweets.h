@@ -1,0 +1,76 @@
+// Synthetic tweet stream (DESIGN.md §2: substitute for the paper's 69 GB
+// two-week Twitter dataset).
+//
+// TopicModel reproduces the dataset's *load structure*: topic popularity is
+// Zipf-distributed, a small head of topics counts as "hot", and a single
+// burst interval concentrates traffic on one topic (the paper's 6734
+// tweets/s peak that "seemed to affect one or very few topics" and forced a
+// ~28-task Sentiment scale-up).  TweetGenerator additionally synthesises
+// text with a controllable sentiment skew for the runtime examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/zipf.h"
+
+namespace esp::workloads {
+
+/// Which topics exist, which are hot, and how tweets pick topics over time.
+class TopicModel {
+ public:
+  struct Params {
+    std::uint64_t topics = 10'000;    ///< topic universe size
+    double zipf_exponent = 1.1;       ///< popularity skew
+    std::uint64_t hot_topics = 20;    ///< Zipf head treated as "hot"
+    std::uint64_t burst_topic = 0;    ///< rank-1 topic hosts the burst
+    SimTime burst_start = 0;          ///< burst interval (0 length = none)
+    SimDuration burst_duration = 0;
+    double burst_share = 0.8;         ///< fraction of burst tweets on burst_topic
+  };
+
+  explicit TopicModel(const Params& params);
+
+  /// Samples the topic of a tweet emitted at `now`.
+  std::uint64_t SampleTopic(SimTime now, Rng& rng) const;
+
+  /// True when `topic` is in the hot set at time `now` (the Zipf head plus
+  /// the burst topic during the burst).
+  bool IsHot(std::uint64_t topic, SimTime now) const;
+
+  bool InBurst(SimTime now) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  ZipfSampler zipf_;
+};
+
+/// A synthetic tweet (used by the threaded runtime and the examples; the
+/// cluster simulator only carries topic + size).
+struct Tweet {
+  std::uint64_t id = 0;
+  std::uint64_t topic = 0;
+  std::string text;
+};
+
+/// Generates tweets with topic-dependent sentiment skew.
+class TweetGenerator {
+ public:
+  TweetGenerator(const TopicModel* topics, std::uint64_t seed);
+
+  /// Produces the next tweet at time `now`.
+  Tweet Next(SimTime now);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  const TopicModel* topics_;
+  Rng rng_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace esp::workloads

@@ -1,0 +1,168 @@
+#include "workloads/twitter_job.h"
+
+namespace esp::workloads {
+
+using sim::ClusterSimulation;
+using sim::DiurnalRate;
+using sim::SourceLogic;
+using sim::StatelessLogic;
+using sim::WindowedLogic;
+
+namespace {
+constexpr std::uint8_t kTagTweet = 0;
+constexpr std::uint8_t kTagTopicList = 1;
+}  // namespace
+
+TwitterSim BuildTwitterSim(const TwitterParams& params, const sim::SimConfig& config) {
+  JobGraph graph;
+  const JobVertexId ts = graph.AddVertex({.name = "TweetSource",
+                                          .parallelism = params.tweet_sources,
+                                          .max_parallelism = params.tweet_sources});
+  const JobVertexId ht = graph.AddVertex({.name = "HotTopics",
+                                          .parallelism = params.hot_topics_init,
+                                          .min_parallelism = params.elastic_min,
+                                          .max_parallelism = params.elastic_max,
+                                          .latency_mode = LatencyMode::kReadWrite,
+                                          .elastic = true});
+  // The merger accumulates partial lists and broadcasts ONE global list per
+  // merger_window: broadcasting per received list would cost
+  // p(Filter) x per-flush overhead for every partial list and saturate the
+  // single merger at scale.
+  const JobVertexId htm = graph.AddVertex({.name = "HotTopicsMerger",
+                                           .parallelism = 1,
+                                           .max_parallelism = 1,
+                                           .latency_mode = LatencyMode::kReadWrite});
+  const JobVertexId filter = graph.AddVertex({.name = "Filter",
+                                              .parallelism = params.filters_init,
+                                              .min_parallelism = params.elastic_min,
+                                              .max_parallelism = params.elastic_max,
+                                              .elastic = true});
+  const JobVertexId sentiment = graph.AddVertex({.name = "Sentiment",
+                                                 .parallelism = params.sentiments_init,
+                                                 .min_parallelism = params.elastic_min,
+                                                 .max_parallelism = params.elastic_max,
+                                                 .elastic = true});
+  const JobVertexId sink = graph.AddVertex(
+      {.name = "Sink", .parallelism = params.sinks, .max_parallelism = params.sinks});
+
+  // Edge creation order fixes each vertex's output indices:
+  // TweetSource outputs: [0] -> Filter, [1] -> HotTopics.
+  const JobEdgeId e1 = graph.Connect(ts, filter, WiringPattern::kRoundRobin);
+  const JobEdgeId e2 = graph.Connect(filter, sentiment, WiringPattern::kRoundRobin);
+  const JobEdgeId e3 = graph.Connect(sentiment, sink, WiringPattern::kRoundRobin);
+  const JobEdgeId e4 = graph.Connect(ts, ht, WiringPattern::kRoundRobin);
+  const JobEdgeId e5 = graph.Connect(ht, htm, WiringPattern::kRoundRobin);
+  const JobEdgeId e6 = graph.Connect(htm, filter, WiringPattern::kBroadcast);
+
+  // Constraint 1: (e4, HT, e5, HTM, e6, F) -- ends at the Filter VERTEX.
+  const JobSequence hot_seq(graph, {SequenceElement{e4}, SequenceElement{ht},
+                                    SequenceElement{e5}, SequenceElement{htm},
+                                    SequenceElement{e6}, SequenceElement{filter}});
+  const LatencyConstraint hot_constraint{hot_seq, params.hot_topics_bound,
+                                         params.constraint_window, "hot-topics"};
+  // Constraint 2: (e1, F, e2, S, e3).
+  const LatencyConstraint sentiment_constraint{
+      JobSequence::FromEdgeChain(graph, {e1, e2, e3}), params.sentiment_bound,
+      params.constraint_window, "tweet-sentiment"};
+
+  TopicModel::Params topic_params = params.topics;
+  topic_params.burst_start = params.burst_start;
+  topic_params.burst_duration = params.burst_duration;
+  auto topics = std::make_shared<TopicModel>(topic_params);
+
+  DiurnalRate::Params rate;
+  rate.base_rate = params.base_rate / params.tweet_sources;
+  rate.amplitude = params.day_amplitude / params.tweet_sources;
+  rate.period = params.day_length;
+  rate.total = params.total_duration;
+  rate.burst_rate = params.burst_rate / params.tweet_sources;
+  rate.burst_start = params.burst_start;
+  rate.burst_duration = params.burst_duration;
+  auto schedule = std::make_shared<DiurnalRate>(rate);
+
+  TwitterSim result;
+  result.topics = topics;
+  result.duration = params.total_duration;
+  result.hot_topics_bound_seconds = ToSeconds(params.hot_topics_bound);
+  result.sentiment_bound_seconds = ToSeconds(params.sentiment_bound);
+  result.sim = std::make_unique<ClusterSimulation>(std::move(graph), config);
+
+  const std::uint32_t tweet_bytes = params.tweet_bytes;
+  result.sim->SetSource("TweetSource", [schedule, topics, tweet_bytes](std::uint32_t, Rng) {
+    SourceLogic::Params p;
+    p.schedule = schedule;
+    p.interval_cv = 1.0;  // Poisson-like tweet arrivals
+    p.item_size_bytes = tweet_bytes;
+    p.item_tag = kTagTweet;
+    p.output_indices = {0, 1};  // each tweet is forwarded twice (paper)
+    p.key_fn = [topics](SimTime now, Rng& rng) { return topics->SampleTopic(now, rng); };
+    return std::make_unique<SourceLogic>(p);
+  });
+
+  const double ht_item = params.hot_topics_item_cost;
+  const double ht_window_cost = params.hot_topics_window_cost;
+  const SimDuration ht_window = params.hot_topics_window;
+  result.sim->SetLogic("HotTopics", [ht_item, ht_window_cost, ht_window](std::uint32_t, Rng) {
+    WindowedLogic::Params p;
+    p.per_item_cost = ht_item;
+    p.per_window_cost = ht_window_cost;
+    p.window = ht_window;
+    p.aggregate_size_bytes = 512;
+    p.aggregate_tag = kTagTopicList;
+    return std::make_unique<WindowedLogic>(p);
+  });
+
+  const double merger_cost = params.merger_cost;
+  const double merger_broadcast_cost = params.merger_broadcast_cost;
+  const SimDuration merger_window = params.merger_window;
+  result.sim->SetLogic("HotTopicsMerger",
+                       [merger_cost, merger_broadcast_cost, merger_window](std::uint32_t,
+                                                                           Rng) {
+                         WindowedLogic::Params p;
+                         p.per_item_cost = merger_cost;
+                         p.per_window_cost = merger_broadcast_cost;
+                         p.window = merger_window;
+                         p.aggregate_size_bytes = 1024;
+                         p.aggregate_tag = kTagTopicList;
+                         return std::make_unique<WindowedLogic>(p);
+                       });
+
+  const double filter_cost = params.filter_cost;
+  result.sim->SetLogic("Filter", [filter_cost, topics](std::uint32_t, Rng) {
+    StatelessLogic::Params p;
+    p.service_mean = filter_cost;
+    p.service_cv = 0.3;
+    p.outputs = {{.output_index = 0, .selectivity = 1.0, .size_bytes = 128,
+                  .tag = kTagTweet}};
+    // Tweets pass only when their topic is hot; topic lists are consumed
+    // (they refresh the filter's local state) and never forwarded.
+    p.selectivity_override = [topics](const sim::SimItem& item, SimTime now) {
+      if (item.tag != kTagTweet) return 0.0;
+      return topics->IsHot(item.key, now) ? 1.0 : 0.0;
+    };
+    return std::make_unique<StatelessLogic>(p);
+  });
+
+  const double sentiment_cost = params.sentiment_cost;
+  const double sentiment_cv = params.sentiment_cv;
+  result.sim->SetLogic("Sentiment", [sentiment_cost, sentiment_cv](std::uint32_t, Rng) {
+    StatelessLogic::Params p;
+    p.service_mean = sentiment_cost;
+    p.service_cv = sentiment_cv;
+    p.outputs = {{.output_index = 0, .selectivity = 1.0, .size_bytes = 64}};
+    return std::make_unique<StatelessLogic>(p);
+  });
+
+  result.sim->SetLogic("Sink", [](std::uint32_t, Rng) {
+    StatelessLogic::Params p;
+    p.service_mean = 0.00005;
+    p.service_cv = 0.2;
+    return std::make_unique<StatelessLogic>(p);
+  });
+
+  result.sim->AddConstraint(hot_constraint);
+  result.sim->AddConstraint(sentiment_constraint);
+  return result;
+}
+
+}  // namespace esp::workloads

@@ -1,0 +1,74 @@
+// The TwitterSentiment job (paper §V-B, Fig. 7).
+//
+//   TweetSource --e1--> Filter --e2--> Sentiment --e3--> Sink
+//        \--e4--> HotTopics --e5--> HotTopicsMerger --e6(broadcast)--> Filter
+//
+// Constraint 1 (l = 215 ms) covers (e4, HotTopics, e5, Merger, e6, Filter);
+// Constraint 2 (l = 30 ms) covers (e1, Filter, e2, Sentiment, e3).
+// HotTopics, Filter and Sentiment are elastic (p in [1, 100]).
+//
+// The tweet stream replays a synthetic diurnal curve with a single-topic
+// burst (tweets.h); Filter's pass rate depends on whether a tweet's topic
+// is currently hot, which is what turns the burst into the Sentiment load
+// spike the paper reports.
+#pragma once
+
+#include <memory>
+
+#include "sim/cluster.h"
+#include "workloads/tweets.h"
+
+namespace esp::workloads {
+
+struct TwitterParams {
+  // Topology.
+  std::uint32_t tweet_sources = 8;
+  std::uint32_t hot_topics_init = 4;
+  std::uint32_t filters_init = 4;
+  std::uint32_t sentiments_init = 4;
+  std::uint32_t sinks = 4;
+  std::uint32_t elastic_min = 1;
+  std::uint32_t elastic_max = 100;
+
+  // Tweet rate (TOTAL across sources): diurnal curve + burst.
+  double base_rate = 1500.0;        ///< nightly low, tweets/s
+  double day_amplitude = 4200.0;    ///< day peak = base + amplitude
+  SimDuration day_length = FromSeconds(6000.0 / 14.0);  ///< one "day"
+  SimDuration total_duration = FromSeconds(6000);       ///< the 100-min replay
+  double burst_rate = 1100.0;       ///< extra tweets/s during the burst
+  SimTime burst_start = FromSeconds(2400);
+  SimDuration burst_duration = FromSeconds(60);
+
+  TopicModel::Params topics{};  ///< burst_start/duration copied from above
+
+  // UDF costs (seconds/item unless noted).
+  double hot_topics_item_cost = 0.0010;
+  double hot_topics_window_cost = 0.0005;
+  SimDuration hot_topics_window = FromMillis(200);
+  double merger_cost = 0.0002;      ///< per received partial list
+  SimDuration merger_window = FromMillis(40);   ///< global-list broadcast period
+  double merger_broadcast_cost = 0.0005;
+  double filter_cost = 0.00030;
+  double sentiment_cost = 0.0025;
+  double sentiment_cv = 0.4;
+  std::uint32_t tweet_bytes = 400;
+
+  // Constraints (paper: 215 ms and 30 ms over 10 s windows).
+  SimDuration hot_topics_bound = FromMillis(215);
+  SimDuration sentiment_bound = FromMillis(30);
+  SimDuration constraint_window = FromSeconds(10);
+};
+
+struct TwitterSim {
+  std::unique_ptr<sim::ClusterSimulation> sim;
+  std::shared_ptr<TopicModel> topics;
+  SimDuration duration = 0;
+  double hot_topics_bound_seconds = 0.0;  ///< constraint index 0
+  double sentiment_bound_seconds = 0.0;   ///< constraint index 1
+};
+
+/// Builds the wired TwitterSentiment simulation.  Constraint 0 is the
+/// hot-topics constraint, constraint 1 the tweet-sentiment constraint.
+TwitterSim BuildTwitterSim(const TwitterParams& params, const sim::SimConfig& config);
+
+}  // namespace esp::workloads

@@ -1,0 +1,258 @@
+// Unit tests for job graphs, runtime-graph expansion, sequences and
+// constraints.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/job_graph.h"
+#include "graph/runtime_graph.h"
+#include "graph/sequence.h"
+
+namespace esp {
+namespace {
+
+JobGraph LinearGraph(std::uint32_t p_source, std::uint32_t p_mid, std::uint32_t p_sink,
+                     WiringPattern pattern = WiringPattern::kRoundRobin) {
+  JobGraph g;
+  g.AddVertex({.name = "Source", .parallelism = p_source, .max_parallelism = p_source});
+  g.AddVertex({.name = "Mid",
+               .parallelism = p_mid,
+               .min_parallelism = 1,
+               .max_parallelism = p_mid * 4,
+               .elastic = true});
+  g.AddVertex({.name = "Sink", .parallelism = p_sink, .max_parallelism = p_sink});
+  g.Connect(g.VertexByName("Source"), g.VertexByName("Mid"), pattern);
+  g.Connect(g.VertexByName("Mid"), g.VertexByName("Sink"), pattern);
+  return g;
+}
+
+TEST(JobGraph, AddVertexValidatesSpec) {
+  JobGraph g;
+  EXPECT_THROW(g.AddVertex({.name = ""}), std::invalid_argument);
+  EXPECT_THROW(g.AddVertex({.name = "x", .parallelism = 1, .min_parallelism = 1,
+                            .max_parallelism = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(g.AddVertex({.name = "x", .parallelism = 5, .min_parallelism = 1,
+                            .max_parallelism = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(g.AddVertex({.name = "x", .parallelism = 2, .min_parallelism = 3,
+                            .max_parallelism = 4}),
+               std::invalid_argument);
+  g.AddVertex({.name = "ok", .parallelism = 2, .min_parallelism = 1, .max_parallelism = 4});
+  EXPECT_THROW(g.AddVertex({.name = "ok"}), std::invalid_argument);  // duplicate
+}
+
+TEST(JobGraph, ConnectRejectsCyclesAndSelfLoops) {
+  JobGraph g;
+  const auto a = g.AddVertex({.name = "a"});
+  const auto b = g.AddVertex({.name = "b"});
+  const auto c = g.AddVertex({.name = "c"});
+  g.Connect(a, b);
+  g.Connect(b, c);
+  EXPECT_THROW(g.Connect(c, a), std::invalid_argument);
+  EXPECT_THROW(g.Connect(a, a), std::invalid_argument);
+  EXPECT_THROW(g.Connect(a, JobVertexId{99}), std::invalid_argument);
+}
+
+TEST(JobGraph, DiamondTopologicalOrderRespectsEdges) {
+  JobGraph g;
+  const auto a = g.AddVertex({.name = "a"});
+  const auto b = g.AddVertex({.name = "b"});
+  const auto c = g.AddVertex({.name = "c"});
+  const auto d = g.AddVertex({.name = "d"});
+  g.Connect(a, b);
+  g.Connect(a, c);
+  g.Connect(b, d);
+  g.Connect(c, d);
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](JobVertexId v) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == v) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(d));
+  EXPECT_LT(pos(c), pos(d));
+}
+
+TEST(JobGraph, SourceAndSinkDetection) {
+  const JobGraph g = LinearGraph(2, 4, 2);
+  ASSERT_EQ(g.SourceVertices().size(), 1u);
+  ASSERT_EQ(g.SinkVertices().size(), 1u);
+  EXPECT_EQ(g.vertex(g.SourceVertices()[0]).name, "Source");
+  EXPECT_EQ(g.vertex(g.SinkVertices()[0]).name, "Sink");
+}
+
+TEST(JobGraph, SetParallelismEnforcesBounds) {
+  JobGraph g = LinearGraph(2, 4, 2);
+  const auto mid = g.VertexByName("Mid");
+  g.SetParallelism(mid, 16);
+  EXPECT_EQ(g.vertex(mid).parallelism, 16u);
+  EXPECT_THROW(g.SetParallelism(mid, 17), std::invalid_argument);
+  EXPECT_THROW(g.SetParallelism(mid, 0), std::invalid_argument);
+}
+
+TEST(JobGraph, TotalParallelismSumsCurrentDegrees) {
+  const JobGraph g = LinearGraph(3, 5, 2);
+  EXPECT_EQ(g.TotalParallelism(), 10u);
+}
+
+TEST(JobGraph, VertexByNameThrowsOnUnknown) {
+  const JobGraph g = LinearGraph(1, 1, 1);
+  EXPECT_THROW(g.VertexByName("nope"), std::out_of_range);
+}
+
+TEST(RuntimeGraph, RoundRobinExpandsFullBipartite) {
+  const JobGraph g = LinearGraph(2, 3, 2);
+  const RuntimeGraph rg = RuntimeGraph::Expand(g);
+  EXPECT_EQ(rg.task_count(), 7u);
+  EXPECT_EQ(rg.channels(JobEdgeId{0}).size(), 6u);   // 2x3
+  EXPECT_EQ(rg.channels(JobEdgeId{1}).size(), 6u);   // 3x2
+  EXPECT_EQ(rg.channel_count(), 12u);
+  // Every Mid task has 2 inputs and 2 outputs.
+  for (const TaskId& t : rg.tasks(g.VertexByName("Mid"))) {
+    EXPECT_EQ(rg.inputs(t).size(), 2u);
+    EXPECT_EQ(rg.outputs(t).size(), 2u);
+  }
+}
+
+TEST(RuntimeGraph, PointwiseUsesMaxParallelismChannels) {
+  const JobGraph g = LinearGraph(2, 6, 2, WiringPattern::kPointwise);
+  const RuntimeGraph rg = RuntimeGraph::Expand(g);
+  EXPECT_EQ(rg.channels(JobEdgeId{0}).size(), 6u);  // max(2, 6)
+  // Producer subtask 0 feeds consumers 0, 2, 4.
+  const TaskId src0{g.VertexByName("Source"), 0};
+  EXPECT_EQ(rg.outputs(src0).size(), 3u);
+}
+
+TEST(RuntimeGraph, ReExpansionTracksParallelismChange) {
+  JobGraph g = LinearGraph(2, 4, 2);
+  g.SetParallelism(g.VertexByName("Mid"), 8);
+  const RuntimeGraph rg = RuntimeGraph::Expand(g);
+  EXPECT_EQ(rg.tasks(g.VertexByName("Mid")).size(), 8u);
+  EXPECT_EQ(rg.channels(JobEdgeId{0}).size(), 16u);
+}
+
+TEST(RuntimeGraph, SourceTasksHaveNoInputs) {
+  const JobGraph g = LinearGraph(2, 2, 2);
+  const RuntimeGraph rg = RuntimeGraph::Expand(g);
+  for (const TaskId& t : rg.tasks(g.VertexByName("Source"))) {
+    EXPECT_TRUE(rg.inputs(t).empty());
+  }
+  for (const TaskId& t : rg.tasks(g.VertexByName("Sink"))) {
+    EXPECT_TRUE(rg.outputs(t).empty());
+  }
+}
+
+TEST(RuntimeGraph, AllTasksCoversEveryVertex) {
+  const JobGraph g = LinearGraph(2, 3, 4);
+  const RuntimeGraph rg = RuntimeGraph::Expand(g);
+  EXPECT_EQ(rg.AllTasks().size(), 9u);
+}
+
+TEST(RuntimeGraph, ChannelCountsAcrossRandomParallelisms) {
+  // Property: full-bipartite patterns produce p_src * p_dst channels;
+  // pointwise produces max(p_src, p_dst); every channel references valid
+  // subtasks.
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p_src = static_cast<std::uint32_t>(rng.UniformInt(1, 12));
+    const auto p_dst = static_cast<std::uint32_t>(rng.UniformInt(1, 12));
+    const WiringPattern pattern =
+        trial % 2 == 0 ? WiringPattern::kRoundRobin : WiringPattern::kPointwise;
+
+    JobGraph g;
+    const auto a = g.AddVertex({.name = "a", .parallelism = p_src, .max_parallelism = 12});
+    const auto b = g.AddVertex({.name = "b", .parallelism = p_dst, .max_parallelism = 12});
+    const auto e = g.Connect(a, b, pattern);
+    const RuntimeGraph rg = RuntimeGraph::Expand(g);
+
+    const std::size_t expected = pattern == WiringPattern::kPointwise
+                                     ? std::max(p_src, p_dst)
+                                     : static_cast<std::size_t>(p_src) * p_dst;
+    ASSERT_EQ(rg.channels(e).size(), expected)
+        << "trial " << trial << " p_src=" << p_src << " p_dst=" << p_dst;
+    for (const ChannelId& c : rg.channels(e)) {
+      EXPECT_LT(c.producer_subtask, p_src);
+      EXPECT_LT(c.consumer_subtask, p_dst);
+    }
+    // Every consumer subtask must be reachable (no starved consumer).
+    std::vector<bool> reachable(p_dst, false);
+    for (const ChannelId& c : rg.channels(e)) reachable[c.consumer_subtask] = true;
+    for (std::uint32_t s = 0; s < p_dst; ++s) EXPECT_TRUE(reachable[s]) << "subtask " << s;
+  }
+}
+
+TEST(JobSequence, EdgeChainBuildsAlternatingSequence) {
+  const JobGraph g = LinearGraph(1, 1, 1);
+  const JobSequence seq = JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}});
+  EXPECT_EQ(seq.edges().size(), 2u);
+  ASSERT_EQ(seq.vertices().size(), 1u);
+  EXPECT_EQ(g.vertex(seq.vertices()[0]).name, "Mid");
+  EXPECT_FALSE(seq.StartsWithVertex());
+  EXPECT_FALSE(seq.EndsWithVertex());
+}
+
+TEST(JobSequence, RejectsDisconnectedEdgeChain) {
+  JobGraph g;
+  const auto a = g.AddVertex({.name = "a"});
+  const auto b = g.AddVertex({.name = "b"});
+  const auto c = g.AddVertex({.name = "c"});
+  const auto d = g.AddVertex({.name = "d"});
+  const auto e1 = g.Connect(a, b);
+  const auto e2 = g.Connect(c, d);
+  EXPECT_THROW(JobSequence::FromEdgeChain(g, {e1, e2}), std::invalid_argument);
+}
+
+TEST(JobSequence, VertexBoundedSequenceIsValid) {
+  const JobGraph g = LinearGraph(1, 1, 1);
+  const auto src = g.VertexByName("Source");
+  const auto mid = g.VertexByName("Mid");
+  const JobSequence seq(g, {SequenceElement{src}, SequenceElement{JobEdgeId{0}},
+                            SequenceElement{mid}});
+  EXPECT_TRUE(seq.StartsWithVertex());
+  EXPECT_TRUE(seq.EndsWithVertex());
+  EXPECT_EQ(seq.vertices().size(), 2u);
+  EXPECT_EQ(seq.edges().size(), 1u);
+}
+
+TEST(JobSequence, RejectsNonAlternatingOrMisdirectedElements) {
+  const JobGraph g = LinearGraph(1, 1, 1);
+  const auto src = g.VertexByName("Source");
+  const auto mid = g.VertexByName("Mid");
+  // Two vertices in a row.
+  EXPECT_THROW(JobSequence(g, {SequenceElement{src}, SequenceElement{mid}}),
+               std::invalid_argument);
+  // Edge 0 goes Source->Mid; starting it at Mid is invalid.
+  EXPECT_THROW(JobSequence(g, {SequenceElement{mid}, SequenceElement{JobEdgeId{0}}}),
+               std::invalid_argument);
+  // Empty sequence.
+  EXPECT_THROW(JobSequence(g, {}), std::invalid_argument);
+}
+
+TEST(JobSequence, ToStringNamesElements) {
+  const JobGraph g = LinearGraph(1, 1, 1);
+  const JobSequence seq = JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}});
+  const std::string s = seq.ToString(g);
+  EXPECT_NE(s.find("Mid"), std::string::npos);
+  EXPECT_NE(s.find("Source~Mid"), std::string::npos);
+}
+
+TEST(LatencyConstraintValidation, RejectsNonPositiveBoundOrWindow) {
+  const JobGraph g = LinearGraph(1, 1, 1);
+  const JobSequence seq = JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}});
+  LatencyConstraint ok{seq, FromMillis(20), FromSeconds(10), "c"};
+  EXPECT_NO_THROW(ValidateConstraint(ok));
+  LatencyConstraint bad_bound{seq, 0, FromSeconds(10), "c"};
+  EXPECT_THROW(ValidateConstraint(bad_bound), std::invalid_argument);
+  LatencyConstraint bad_window{seq, FromMillis(20), 0, "c"};
+  EXPECT_THROW(ValidateConstraint(bad_window), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esp

@@ -1,0 +1,312 @@
+// Tests for the workload substrates: Miller-Rabin, the sentiment lexicon,
+// the synthetic tweet stream, and the PrimeTester / TwitterSentiment job
+// builders running end-to-end on the simulator.
+#include <gtest/gtest.h>
+
+#include "workloads/prime_tester.h"
+#include "workloads/primes.h"
+#include "workloads/sentiment.h"
+#include "workloads/tweets.h"
+#include "workloads/twitter_job.h"
+
+namespace esp::workloads {
+namespace {
+
+// ------------------------------------------------------------------ primes
+
+TEST(Primes, SmallNumbers) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(5));
+  EXPECT_FALSE(IsPrime(9));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(100));
+}
+
+TEST(Primes, CarmichaelNumbersAreComposite) {
+  // Classic Fermat pseudoprimes that fool weak tests.
+  for (std::uint64_t n : {561ULL, 1105ULL, 1729ULL, 2465ULL, 2821ULL, 6601ULL,
+                          8911ULL, 825265ULL, 321197185ULL}) {
+    EXPECT_FALSE(IsPrime(n)) << n;
+  }
+}
+
+TEST(Primes, LargeKnownPrimes) {
+  EXPECT_TRUE(IsPrime(2147483647ULL));            // 2^31 - 1 (Mersenne)
+  EXPECT_TRUE(IsPrime(2305843009213693951ULL));   // 2^61 - 1 (Mersenne)
+  EXPECT_TRUE(IsPrime(18446744073709551557ULL));  // largest 64-bit prime
+  EXPECT_FALSE(IsPrime(18446744073709551555ULL));
+}
+
+TEST(Primes, DensityNearOneBillion) {
+  // pi(1e9 + 10000) - pi(1e9) = 431 primes in that window... checking a
+  // smaller window with a known count: primes in [1e9, 1e9 + 1000) = 49.
+  int count = 0;
+  for (std::uint64_t n = 1'000'000'000ULL; n < 1'000'001'000ULL; ++n) {
+    if (IsPrime(n)) ++count;
+  }
+  EXPECT_EQ(count, 49);
+}
+
+TEST(Primes, BurnCountsPrimes) {
+  // Odd numbers 1001, 1003, ..., 1019: primes are 1009, 1013, 1019.
+  EXPECT_EQ(PrimeTestBurn(1001, 10), 3);
+}
+
+// --------------------------------------------------------------- sentiment
+
+TEST(Sentiment, ClassifiesObviousText) {
+  const SentimentLexicon lexicon;
+  EXPECT_EQ(lexicon.Classify("what a wonderful great day"), Sentiment::kPositive);
+  EXPECT_EQ(lexicon.Classify("this is terrible and awful"), Sentiment::kNegative);
+  EXPECT_EQ(lexicon.Classify("the train leaves at noon"), Sentiment::kNeutral);
+}
+
+TEST(Sentiment, MixedTextUsesNetScore) {
+  const SentimentLexicon lexicon;
+  EXPECT_EQ(lexicon.Score("good good bad"), 1);
+  EXPECT_EQ(lexicon.Classify("good bad"), Sentiment::kNeutral);
+}
+
+TEST(Sentiment, TokenisationHandlesCaseAndPunctuation) {
+  const SentimentLexicon lexicon;
+  EXPECT_EQ(lexicon.Classify("GREAT!!! #love, @awesome"), Sentiment::kPositive);
+  // Words embedded in other words do not count.
+  EXPECT_EQ(lexicon.Classify("goodbye badge"), Sentiment::kNeutral);
+}
+
+TEST(Sentiment, CustomLexicon) {
+  const SentimentLexicon lexicon({"up"}, {"down"});
+  EXPECT_EQ(lexicon.Classify("up up down"), Sentiment::kPositive);
+  EXPECT_EQ(lexicon.Classify("down"), Sentiment::kNegative);
+}
+
+// ------------------------------------------------------------------ tweets
+
+TopicModel::Params SmallTopics() {
+  TopicModel::Params p;
+  p.topics = 100;
+  p.zipf_exponent = 1.1;
+  p.hot_topics = 5;
+  p.burst_topic = 0;
+  p.burst_start = FromSeconds(10);
+  p.burst_duration = FromSeconds(5);
+  p.burst_share = 0.9;
+  return p;
+}
+
+TEST(TopicModel, HotSetIsZipfHeadPlusBurstTopic) {
+  const TopicModel model(SmallTopics());
+  EXPECT_TRUE(model.IsHot(1, 0));
+  EXPECT_TRUE(model.IsHot(5, 0));
+  EXPECT_FALSE(model.IsHot(6, 0));
+  EXPECT_FALSE(model.IsHot(0, 0));  // topics are 1-based
+}
+
+TEST(TopicModel, BurstConcentratesTraffic) {
+  const TopicModel model(SmallTopics());
+  Rng rng(7);
+  int on_burst_topic = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.SampleTopic(FromSeconds(12), rng) == 1) ++on_burst_topic;
+  }
+  EXPECT_GT(on_burst_topic, n * 85 / 100);  // 0.9 share + organic rank-1 mass
+  // Outside the burst, rank 1 gets only its organic Zipf share (~23%).
+  on_burst_topic = 0;
+  for (int i = 0; i < n; ++i) {
+    if (model.SampleTopic(FromSeconds(20), rng) == 1) ++on_burst_topic;
+  }
+  EXPECT_LT(on_burst_topic, n * 40 / 100);
+}
+
+TEST(TopicModel, ZipfRankOneDominates) {
+  const TopicModel model(SmallTopics());
+  Rng rng(11);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[model.SampleTopic(0, rng)];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+}
+
+TEST(TopicModel, ValidatesParameters) {
+  TopicModel::Params p = SmallTopics();
+  p.topics = 0;
+  EXPECT_THROW(TopicModel{p}, std::invalid_argument);
+  p = SmallTopics();
+  p.hot_topics = 1000;
+  EXPECT_THROW(TopicModel{p}, std::invalid_argument);
+  p = SmallTopics();
+  p.burst_share = 1.5;
+  EXPECT_THROW(TopicModel{p}, std::invalid_argument);
+}
+
+TEST(TweetGenerator, ProducesTaggedText) {
+  const TopicModel model(SmallTopics());
+  TweetGenerator gen(&model, 3);
+  const Tweet t1 = gen.Next(0);
+  const Tweet t2 = gen.Next(0);
+  EXPECT_EQ(t1.id + 1, t2.id);
+  EXPECT_GE(t1.topic, 1u);
+  EXPECT_LE(t1.topic, 100u);
+  EXPECT_NE(t1.text.find("#topic" + std::to_string(t1.topic)), std::string::npos);
+}
+
+TEST(TweetGenerator, SentimentSkewFollowsTopicParity) {
+  const TopicModel model(SmallTopics());
+  TweetGenerator gen(&model, 5);
+  const SentimentLexicon lexicon;
+  int even_pos = 0, even_total = 0, odd_pos = 0, odd_total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Tweet t = gen.Next(0);
+    const bool positive = lexicon.Classify(t.text) == Sentiment::kPositive;
+    if (t.topic % 2 == 0) {
+      ++even_total;
+      even_pos += positive;
+    } else {
+      ++odd_total;
+      odd_pos += positive;
+    }
+  }
+  ASSERT_GT(even_total, 100);
+  ASSERT_GT(odd_total, 100);
+  EXPECT_GT(static_cast<double>(even_pos) / even_total,
+            static_cast<double>(odd_pos) / odd_total);
+}
+
+// ------------------------------------------------------- PrimeTester (sim)
+
+PrimeTesterParams ScaledPrimeTester() {
+  PrimeTesterParams p;
+  p.sources = 2;
+  p.prime_testers = 8;
+  p.sinks = 2;
+  p.pt_min_parallelism = 8;
+  p.pt_max_parallelism = 8;
+  p.warmup_rate = 400;
+  p.rate_increment = 400;
+  p.increments = 2;
+  p.step_duration = FromSeconds(8);
+  return p;
+}
+
+TEST(PrimeTesterJob, ThroughputFollowsPhases) {
+  sim::SimConfig cfg;
+  cfg.workers = 8;
+  cfg.shipping = ShippingStrategy::kAdaptive;
+  cfg.scaler.enabled = false;
+  cfg.seed = 9;
+  PrimeTesterSim pt = BuildPrimeTesterSim(ScaledPrimeTester(), cfg);
+  const sim::RunResult r = pt.sim->Run(pt.schedule_length);
+
+  // 6 steps x 8 s = 48 s -> windows at 10 s boundaries; effective rate must
+  // rise through Increment and fall back in Decrement.
+  ASSERT_GE(r.windows.size(), 4u);
+  EXPECT_GT(r.windows[2].effective_rate, r.windows[0].effective_rate * 1.5);
+  EXPECT_LT(r.windows.back().effective_rate, r.windows[2].effective_rate);
+  EXPECT_GT(r.total_items_delivered, r.total_items_emitted * 9 / 10);
+}
+
+TEST(PrimeTesterJob, ConstraintHeldAtModerateLoad) {
+  sim::SimConfig cfg;
+  cfg.workers = 8;
+  cfg.shipping = ShippingStrategy::kAdaptive;
+  cfg.scaler.enabled = false;
+  cfg.seed = 9;
+  PrimeTesterParams params = ScaledPrimeTester();
+  params.increments = 1;  // stay well below saturation
+  PrimeTesterSim pt = BuildPrimeTesterSim(params, cfg);
+  const sim::RunResult r = pt.sim->Run(pt.schedule_length);
+  const auto fulfilled = r.FulfillmentFraction({pt.constraint_bound_seconds});
+  EXPECT_GT(fulfilled[0], 0.8);
+}
+
+// ---------------------------------------------------- TwitterSentiment (sim)
+
+TwitterParams ScaledTwitter() {
+  TwitterParams p;
+  p.tweet_sources = 2;
+  p.base_rate = 150;
+  p.day_amplitude = 400;
+  p.day_length = FromSeconds(60);
+  p.total_duration = FromSeconds(120);
+  p.burst_rate = 200;
+  p.burst_start = FromSeconds(80);
+  p.burst_duration = FromSeconds(15);
+  p.elastic_max = 32;
+  return p;
+}
+
+TEST(TwitterJob, RunsWithBothConstraints) {
+  sim::SimConfig cfg;
+  cfg.workers = 24;
+  cfg.shipping = ShippingStrategy::kAdaptive;
+  cfg.scaler.enabled = true;
+  cfg.seed = 21;
+  TwitterSim tw = BuildTwitterSim(ScaledTwitter(), cfg);
+  const sim::RunResult r = tw.sim->Run(tw.duration);
+
+  ASSERT_FALSE(r.windows.empty());
+  // Both constraints collect probe samples.
+  std::uint64_t hot_samples = 0;
+  std::uint64_t sent_samples = 0;
+  for (const auto& w : r.windows) {
+    hot_samples += w.constraints[0].samples;
+    sent_samples += w.constraints[1].samples;
+  }
+  EXPECT_GT(hot_samples, 50u);
+  EXPECT_GT(sent_samples, 50u);
+
+  // The hot-topics path includes 200 ms windows, so its latency must sit
+  // far above the sentiment path's.  Compare steady-state windows only
+  // (after scale-up convergence, before the burst at t = 80 s): transients
+  // right after start or during the burst can dominate either path.
+  double hot_mean = 0, sent_mean = 0;
+  int counted = 0;
+  for (const auto& w : r.windows) {
+    if (w.end <= FromSeconds(40) || w.end > FromSeconds(80)) continue;
+    if (w.constraints[0].samples && w.constraints[1].samples) {
+      hot_mean += w.constraints[0].mean_latency;
+      sent_mean += w.constraints[1].mean_latency;
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_GT(hot_mean / counted, sent_mean / counted);
+}
+
+TEST(TwitterJob, BurstTriggersSentimentScaleUp) {
+  sim::SimConfig cfg;
+  cfg.workers = 24;
+  cfg.shipping = ShippingStrategy::kAdaptive;
+  cfg.scaler.enabled = true;
+  cfg.seed = 22;
+  TwitterParams params = ScaledTwitter();
+  params.burst_rate = 600;  // pronounced single-topic burst
+  TwitterSim tw = BuildTwitterSim(params, cfg);
+  const sim::RunResult r = tw.sim->Run(tw.duration);
+
+  // Sentiment parallelism during/after the burst must exceed the pre-burst
+  // steady state.
+  auto sentiment_p = [&](SimTime at) {
+    std::uint32_t p = 0;
+    for (const auto& rec : r.adjustments) {
+      if (rec.time > at) break;
+      for (const auto& ps : rec.parallelism) {
+        if (ps.vertex == "Sentiment") p = ps.parallelism;
+      }
+    }
+    return p;
+  };
+  const std::uint32_t before = sentiment_p(FromSeconds(78));
+  const std::uint32_t during = sentiment_p(FromSeconds(95));
+  EXPECT_GT(during, before);
+}
+
+}  // namespace
+}  // namespace esp::workloads
