@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scaler.dir/ablation_scaler.cpp.o"
+  "CMakeFiles/ablation_scaler.dir/ablation_scaler.cpp.o.d"
+  "ablation_scaler"
+  "ablation_scaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

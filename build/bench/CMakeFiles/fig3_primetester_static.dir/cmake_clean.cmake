@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_primetester_static.dir/fig3_primetester_static.cpp.o"
+  "CMakeFiles/fig3_primetester_static.dir/fig3_primetester_static.cpp.o.d"
+  "fig3_primetester_static"
+  "fig3_primetester_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_primetester_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

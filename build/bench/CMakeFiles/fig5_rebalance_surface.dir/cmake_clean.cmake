@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rebalance_surface.dir/fig5_rebalance_surface.cpp.o"
+  "CMakeFiles/fig5_rebalance_surface.dir/fig5_rebalance_surface.cpp.o.d"
+  "fig5_rebalance_surface"
+  "fig5_rebalance_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rebalance_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_primetester_elastic.dir/fig6_primetester_elastic.cpp.o"
+  "CMakeFiles/fig6_primetester_elastic.dir/fig6_primetester_elastic.cpp.o.d"
+  "fig6_primetester_elastic"
+  "fig6_primetester_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_primetester_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_twitter_sentiment.dir/fig8_twitter_sentiment.cpp.o"
+  "CMakeFiles/fig8_twitter_sentiment.dir/fig8_twitter_sentiment.cpp.o.d"
+  "fig8_twitter_sentiment"
+  "fig8_twitter_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_twitter_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

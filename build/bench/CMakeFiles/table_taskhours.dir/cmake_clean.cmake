@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_taskhours.dir/table_taskhours.cpp.o"
+  "CMakeFiles/table_taskhours.dir/table_taskhours.cpp.o.d"
+  "table_taskhours"
+  "table_taskhours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_taskhours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primetester_local.dir/primetester_local.cpp.o"
+  "CMakeFiles/primetester_local.dir/primetester_local.cpp.o.d"
+  "primetester_local"
+  "primetester_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primetester_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_sentiment_local.dir/twitter_sentiment_local.cpp.o"
+  "CMakeFiles/twitter_sentiment_local.dir/twitter_sentiment_local.cpp.o.d"
+  "twitter_sentiment_local"
+  "twitter_sentiment_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_sentiment_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

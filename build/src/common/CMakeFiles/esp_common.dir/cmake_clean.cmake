@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_common.dir/histogram.cpp.o"
+  "CMakeFiles/esp_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/esp_common.dir/logging.cpp.o"
+  "CMakeFiles/esp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/esp_common.dir/percentile.cpp.o"
+  "CMakeFiles/esp_common.dir/percentile.cpp.o.d"
+  "CMakeFiles/esp_common.dir/reservoir.cpp.o"
+  "CMakeFiles/esp_common.dir/reservoir.cpp.o.d"
+  "CMakeFiles/esp_common.dir/rng.cpp.o"
+  "CMakeFiles/esp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/esp_common.dir/stats.cpp.o"
+  "CMakeFiles/esp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/esp_common.dir/zipf.cpp.o"
+  "CMakeFiles/esp_common.dir/zipf.cpp.o.d"
+  "libesp_common.a"
+  "libesp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_core.dir/batching.cpp.o"
+  "CMakeFiles/esp_core.dir/batching.cpp.o.d"
+  "CMakeFiles/esp_core.dir/elastic_scaler.cpp.o"
+  "CMakeFiles/esp_core.dir/elastic_scaler.cpp.o.d"
+  "CMakeFiles/esp_core.dir/rebalance.cpp.o"
+  "CMakeFiles/esp_core.dir/rebalance.cpp.o.d"
+  "CMakeFiles/esp_core.dir/scale_reactively.cpp.o"
+  "CMakeFiles/esp_core.dir/scale_reactively.cpp.o.d"
+  "libesp_core.a"
+  "libesp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

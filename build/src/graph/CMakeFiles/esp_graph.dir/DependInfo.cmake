@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/job_graph.cpp" "src/graph/CMakeFiles/esp_graph.dir/job_graph.cpp.o" "gcc" "src/graph/CMakeFiles/esp_graph.dir/job_graph.cpp.o.d"
+  "/root/repo/src/graph/runtime_graph.cpp" "src/graph/CMakeFiles/esp_graph.dir/runtime_graph.cpp.o" "gcc" "src/graph/CMakeFiles/esp_graph.dir/runtime_graph.cpp.o.d"
+  "/root/repo/src/graph/sequence.cpp" "src/graph/CMakeFiles/esp_graph.dir/sequence.cpp.o" "gcc" "src/graph/CMakeFiles/esp_graph.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_graph.dir/job_graph.cpp.o"
+  "CMakeFiles/esp_graph.dir/job_graph.cpp.o.d"
+  "CMakeFiles/esp_graph.dir/runtime_graph.cpp.o"
+  "CMakeFiles/esp_graph.dir/runtime_graph.cpp.o.d"
+  "CMakeFiles/esp_graph.dir/sequence.cpp.o"
+  "CMakeFiles/esp_graph.dir/sequence.cpp.o.d"
+  "libesp_graph.a"
+  "libesp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

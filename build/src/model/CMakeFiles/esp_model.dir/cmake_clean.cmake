@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_model.dir/latency_model.cpp.o"
+  "CMakeFiles/esp_model.dir/latency_model.cpp.o.d"
+  "libesp_model.a"
+  "libesp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/manager.cpp" "src/qos/CMakeFiles/esp_qos.dir/manager.cpp.o" "gcc" "src/qos/CMakeFiles/esp_qos.dir/manager.cpp.o.d"
+  "/root/repo/src/qos/sampler.cpp" "src/qos/CMakeFiles/esp_qos.dir/sampler.cpp.o" "gcc" "src/qos/CMakeFiles/esp_qos.dir/sampler.cpp.o.d"
+  "/root/repo/src/qos/summary.cpp" "src/qos/CMakeFiles/esp_qos.dir/summary.cpp.o" "gcc" "src/qos/CMakeFiles/esp_qos.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/esp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

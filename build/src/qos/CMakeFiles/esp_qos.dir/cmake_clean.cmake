@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_qos.dir/manager.cpp.o"
+  "CMakeFiles/esp_qos.dir/manager.cpp.o.d"
+  "CMakeFiles/esp_qos.dir/sampler.cpp.o"
+  "CMakeFiles/esp_qos.dir/sampler.cpp.o.d"
+  "CMakeFiles/esp_qos.dir/summary.cpp.o"
+  "CMakeFiles/esp_qos.dir/summary.cpp.o.d"
+  "libesp_qos.a"
+  "libesp_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

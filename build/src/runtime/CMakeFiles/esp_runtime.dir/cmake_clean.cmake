@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_runtime.dir/engine.cpp.o"
+  "CMakeFiles/esp_runtime.dir/engine.cpp.o.d"
+  "libesp_runtime.a"
+  "libesp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/esp_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/esp_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/esp_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/esp_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/esp_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/esp_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/metrics_io.cpp" "src/sim/CMakeFiles/esp_sim.dir/metrics_io.cpp.o" "gcc" "src/sim/CMakeFiles/esp_sim.dir/metrics_io.cpp.o.d"
+  "/root/repo/src/sim/rate_schedule.cpp" "src/sim/CMakeFiles/esp_sim.dir/rate_schedule.cpp.o" "gcc" "src/sim/CMakeFiles/esp_sim.dir/rate_schedule.cpp.o.d"
+  "/root/repo/src/sim/task_logic.cpp" "src/sim/CMakeFiles/esp_sim.dir/task_logic.cpp.o" "gcc" "src/sim/CMakeFiles/esp_sim.dir/task_logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/esp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/esp_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/esp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/esp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

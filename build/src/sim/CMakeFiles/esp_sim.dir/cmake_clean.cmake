@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_sim.dir/cluster.cpp.o"
+  "CMakeFiles/esp_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/esp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/esp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/esp_sim.dir/metrics.cpp.o"
+  "CMakeFiles/esp_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/esp_sim.dir/metrics_io.cpp.o"
+  "CMakeFiles/esp_sim.dir/metrics_io.cpp.o.d"
+  "CMakeFiles/esp_sim.dir/rate_schedule.cpp.o"
+  "CMakeFiles/esp_sim.dir/rate_schedule.cpp.o.d"
+  "CMakeFiles/esp_sim.dir/task_logic.cpp.o"
+  "CMakeFiles/esp_sim.dir/task_logic.cpp.o.d"
+  "libesp_sim.a"
+  "libesp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

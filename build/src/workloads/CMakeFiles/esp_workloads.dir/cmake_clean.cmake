@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_workloads.dir/prime_tester.cpp.o"
+  "CMakeFiles/esp_workloads.dir/prime_tester.cpp.o.d"
+  "CMakeFiles/esp_workloads.dir/primes.cpp.o"
+  "CMakeFiles/esp_workloads.dir/primes.cpp.o.d"
+  "CMakeFiles/esp_workloads.dir/sentiment.cpp.o"
+  "CMakeFiles/esp_workloads.dir/sentiment.cpp.o.d"
+  "CMakeFiles/esp_workloads.dir/tweets.cpp.o"
+  "CMakeFiles/esp_workloads.dir/tweets.cpp.o.d"
+  "CMakeFiles/esp_workloads.dir/twitter_job.cpp.o"
+  "CMakeFiles/esp_workloads.dir/twitter_job.cpp.o.d"
+  "libesp_workloads.a"
+  "libesp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
