@@ -1,0 +1,165 @@
+// Hot-path microbenchmark for the threaded LocalEngine data plane.
+//
+// Drives a 1-source / 1-map / 1-sink pipeline with trivial UDFs at full
+// blast, so the measured records/sec is dominated by the runtime's
+// per-record overhead (queue locking, wakeups, metric updates) rather than
+// user code.  One row per shipping strategy; `--tsv` additionally writes
+// micro_engine.tsv next to the binary.  EXPERIMENTS.md records the
+// baseline (pre-batching) vs. optimized numbers.
+//
+// Usage: micro_engine [--records N] [--queue N] [--batch N] [--tsv]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/job_graph.h"
+#include "runtime/engine.h"
+#include "runtime/record.h"
+#include "runtime/udf.h"
+
+namespace esp::bench {
+namespace {
+
+using runtime::Collector;
+using runtime::EngineResult;
+using runtime::LocalEngine;
+using runtime::LocalEngineOptions;
+using runtime::Record;
+using runtime::SourceFunction;
+using runtime::Udf;
+
+int ArgInt(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+// Emits `total` int records as fast as Produce() is called.
+class BlastSource final : public SourceFunction {
+ public:
+  explicit BlastSource(int total) : total_(total) {}
+
+  bool Produce(Collector& out) override {
+    if (next_ >= total_) return false;
+    out.Emit(runtime::MakeRecord<int>(next_, static_cast<std::uint64_t>(next_)));
+    ++next_;
+    return true;
+  }
+
+ private:
+  int total_;
+  int next_ = 0;
+};
+
+// The cheapest non-trivial map: one multiply, one emit.
+class MulUdf final : public Udf {
+ public:
+  void OnRecord(const Record& r, Collector& out) override {
+    out.Emit(runtime::MakeRecord<int>(runtime::Get<int>(r) * 3, r.key));
+  }
+};
+
+class NullSink final : public Udf {
+ public:
+  void OnRecord(const Record&, Collector&) override {}
+};
+
+struct Row {
+  std::string config;
+  int records = 0;
+  double elapsed_s = 0;
+  double rate = 0;       // records/sec end to end
+  double p50_ms = 0;
+  double p99_ms = 0;
+  bool exact = false;    // delivered == emitted == records
+};
+
+Row RunOnce(const char* name, ShippingStrategy shipping, int records,
+            std::size_t queue_capacity, std::uint32_t batch_capacity) {
+  JobGraph g;
+  const auto src = g.AddVertex({.name = "Src", .parallelism = 1, .max_parallelism = 1});
+  const auto map = g.AddVertex({.name = "Map", .parallelism = 1, .max_parallelism = 1});
+  const auto snk = g.AddVertex({.name = "Snk", .parallelism = 1, .max_parallelism = 1});
+  g.Connect(src, map, WiringPattern::kRoundRobin);
+  g.Connect(map, snk, WiringPattern::kRoundRobin);
+
+  LocalEngineOptions opts;
+  opts.shipping = shipping;
+  opts.queue_capacity = queue_capacity;
+  opts.batch_capacity = batch_capacity;
+
+  LocalEngine engine(std::move(g), opts);
+  engine.SetSource("Src", [records](std::uint32_t) {
+    return std::make_unique<BlastSource>(records);
+  });
+  engine.SetUdf("Map", [](std::uint32_t) { return std::make_unique<MulUdf>(); });
+  engine.SetUdf("Snk", [](std::uint32_t) { return std::make_unique<NullSink>(); });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const EngineResult result = engine.Run(FromSeconds(120));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.config = name;
+  row.records = records;
+  row.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  row.rate = static_cast<double>(result.records_delivered) / row.elapsed_s;
+  row.p50_ms = result.latency.Quantile(0.5) * 1e3;
+  row.p99_ms = result.latency.Quantile(0.99) * 1e3;
+  row.exact = result.failure.empty() &&
+              result.records_emitted == static_cast<std::uint64_t>(records) &&
+              result.records_delivered == static_cast<std::uint64_t>(records) &&
+              result.latency.count() == static_cast<std::uint64_t>(records);
+  return row;
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main(int argc, char** argv) {
+  using namespace esp::bench;
+
+  const int records = ArgInt(argc, argv, "--records", 300'000);
+  const int queue = ArgInt(argc, argv, "--queue", 1024);
+  const int batch = ArgInt(argc, argv, "--batch", 64);
+
+  Section("micro_engine: 1-source/1-map/1-sink, trivial UDFs, full blast");
+  std::printf("records=%d queue_capacity=%d batch_capacity=%d\n", records, queue, batch);
+
+  std::vector<Row> rows;
+  rows.push_back(
+      RunOnce("instant", esp::ShippingStrategy::kInstantFlush, records, queue, batch));
+  rows.push_back(
+      RunOnce("fixed", esp::ShippingStrategy::kFixedBuffer, records, queue, batch));
+  rows.push_back(
+      RunOnce("adaptive", esp::ShippingStrategy::kAdaptive, records, queue, batch));
+
+  std::printf("#%11s %10s %10s %12s %12s %12s %6s\n", "config", "records", "time[s]",
+              "records/s", "p50[ms]", "p99[ms]", "exact");
+  for (const Row& r : rows) {
+    std::printf("%12s %10d %10.3f %12.0f %12.3f %12.3f %6s\n", r.config.c_str(),
+                r.records, r.elapsed_s, r.rate, r.p50_ms, r.p99_ms,
+                r.exact ? "yes" : "NO");
+  }
+
+  if (HasFlag(argc, argv, "--tsv")) {
+    std::ofstream out("micro_engine.tsv");
+    out << "config\trecords\ttime_s\trecords_per_s\tp50_ms\tp99_ms\texact\n";
+    for (const Row& r : rows) {
+      out << r.config << '\t' << r.records << '\t' << r.elapsed_s << '\t' << r.rate
+          << '\t' << r.p50_ms << '\t' << r.p99_ms << '\t' << (r.exact ? 1 : 0) << '\n';
+    }
+    std::printf("wrote micro_engine.tsv\n");
+  }
+
+  bool all_exact = true;
+  for (const Row& r : rows) all_exact = all_exact && r.exact;
+  return all_exact ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full pre-merge check: release build + test suite, then a ThreadSanitizer
+# build of the threaded-runtime tests (the hot path is lock-striped and
+# wakeup-throttled; TSan is the gate that keeps it honest).
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== Release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== ThreadSanitizer build of runtime_test =="
+cmake -B build-tsan -S . -DESP_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target runtime_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
+
+echo "All checks passed."

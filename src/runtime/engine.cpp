@@ -13,6 +13,12 @@ namespace esp::runtime {
 using std::chrono::nanoseconds;
 using std::chrono::steady_clock;
 
+namespace {
+/// Records drained per queue lock acquisition in TaskLoopBody.  Amortizes
+/// the lock, the wakeup, and the metric bookkeeping over the batch.
+constexpr std::size_t kPopBatch = 64;
+}  // namespace
+
 // ---------------------------------------------------------------- entities
 
 struct LocalEngine::Channel {
@@ -22,9 +28,13 @@ struct LocalEngine::Channel {
   LocalTask* consumer = nullptr;
 
   std::mutex mutex;
-  std::vector<Envelope> buffer;       // guarded by mutex
-  std::int64_t first_entry_ns = 0;    // guarded by mutex
-  ChannelSampler sampler{1.0, 1};     // guarded by mutex
+  std::vector<Envelope> buffer;    // guarded by mutex
+  ChannelSampler sampler{1.0, 1};  // guarded by mutex
+  // Written under mutex, read lock-free: FlushExpired's not-due pre-check
+  // (0 = buffer empty) and Append's deadline test.  The deadline caches
+  // edge_deadlines_ so the per-record path skips the hash lookup.
+  std::atomic<std::int64_t> first_entry_ns{0};
+  std::atomic<SimDuration> flush_deadline{0};
 };
 
 struct LocalEngine::LocalTask {
@@ -40,6 +50,7 @@ struct LocalEngine::LocalTask {
   std::thread thread;
 
   std::vector<std::vector<Channel*>> outputs;  // per output edge, per epoch
+  std::vector<WiringPattern> out_pattern;      // cached edge patterns, per slot
   std::vector<std::uint32_t> rr;               // round-robin counters
   std::atomic<int> remaining_producers{0};
   std::atomic<bool> busy{false};
@@ -51,6 +62,14 @@ struct LocalEngine::LocalTask {
   std::vector<std::int64_t> rw_pending;  // task-thread only
   std::int64_t next_timer_ns = 0;        // task-thread only
   Rng rng{1};                            // task-thread only
+
+  // Per-task metric shards, merged by HarvestTaskMetrics (control thread).
+  // The counters are uncontended relaxed atomics (one writer, harvested via
+  // exchange); the latency shard shares sampler_mutex with the sampler so
+  // the sink's post-batch pass pays a single lock.
+  std::atomic<std::uint64_t> emitted_n{0};    // sources: records emitted
+  std::atomic<std::uint64_t> delivered_n{0};  // sinks: records consumed
+  LogHistogram latency_shard{1e-6, 1.05};     // guarded by sampler_mutex
 };
 
 // Routes a UDF's emissions onto the task's output channels.
@@ -63,26 +82,25 @@ class LocalEngine::RoutingCollector final : public Collector {
       throw std::out_of_range("Collector::Emit: bad output index in '" +
                               task_->vertex_name + "'");
     }
-    if (record.source_emit_ns == 0) record.source_emit_ns = engine_->NowNs();
+    const std::int64_t now = engine_->NowNs();
+    if (record.source_emit_ns == 0) record.source_emit_ns = now;
     ++emitted_;
 
     auto& targets = task_->outputs[output_index];
     if (targets.empty()) return;  // transient during rescale
-    const JobEdgeId edge_id =
-        engine_->graph_.vertex(task_->id.vertex).outputs[output_index];
-    switch (engine_->graph_.edge(edge_id).pattern) {
+    switch (task_->out_pattern[output_index]) {
       case WiringPattern::kBroadcast:
         for (Channel* ch : targets) {
-          engine_->Append(*ch, record);  // copies; payload is shared
+          engine_->Append(*ch, record, now);  // copies; payload is shared
         }
         break;
       case WiringPattern::kKeyPartitioned:
-        engine_->Append(*targets[record.key % targets.size()], std::move(record));
+        engine_->Append(*targets[record.key % targets.size()], std::move(record), now);
         break;
       case WiringPattern::kRoundRobin:
       case WiringPattern::kPointwise:
-        engine_->Append(
-            *targets[task_->rr[output_index]++ % targets.size()], std::move(record));
+        engine_->Append(*targets[task_->rr[output_index]++ % targets.size()],
+                        std::move(record), now);
         break;
     }
   }
@@ -153,12 +171,16 @@ SimDuration LocalEngine::FlushDeadlineForEdge(std::uint32_t edge) const {
 
 // ------------------------------------------------------------- batch paths
 
-void LocalEngine::Append(Channel& channel, Record record) {
+void LocalEngine::Append(Channel& channel, Record record, std::int64_t now) {
   std::vector<Envelope> flushed;
   {
     std::lock_guard<std::mutex> lock(channel.mutex);
-    const std::int64_t now = NowNs();
-    if (channel.buffer.empty()) channel.first_entry_ns = now;
+    if (channel.buffer.empty()) {
+      if (options_.shipping != ShippingStrategy::kInstantFlush) {
+        channel.buffer.reserve(options_.batch_capacity);
+      }
+      channel.first_entry_ns.store(now, std::memory_order_relaxed);
+    }
     Envelope env;
     env.record = std::move(record);
     env.channel_emit_ns = now;
@@ -175,7 +197,8 @@ void LocalEngine::Append(Channel& channel, Record record) {
         break;
       case ShippingStrategy::kAdaptive:
         flush_now = channel.buffer.size() >= options_.batch_capacity ||
-                    now - channel.first_entry_ns >= FlushDeadlineForEdge(channel.edge);
+                    now - channel.first_entry_ns.load(std::memory_order_relaxed) >=
+                        channel.flush_deadline.load(std::memory_order_relaxed);
         break;
     }
     if (flush_now) {
@@ -185,19 +208,32 @@ void LocalEngine::Append(Channel& channel, Record record) {
         channel.sampler.CountItem();
       }
       flushed.swap(channel.buffer);
+      channel.first_entry_ns.store(0, std::memory_order_relaxed);
     }
   }
   if (!flushed.empty()) DeliverBatch(channel, std::move(flushed));
 }
 
 void LocalEngine::FlushChannel(Channel& channel, bool force) {
+  if (!force) {
+    // Lock-free not-due check: non-forced flushes only ever fire for the
+    // adaptive strategy once the oldest buffered record's deadline passed.
+    if (options_.shipping != ShippingStrategy::kAdaptive) return;
+    const std::int64_t fe = channel.first_entry_ns.load(std::memory_order_relaxed);
+    if (fe == 0 ||
+        NowNs() - fe < channel.flush_deadline.load(std::memory_order_relaxed)) {
+      return;
+    }
+  }
   std::vector<Envelope> flushed;
   {
     std::lock_guard<std::mutex> lock(channel.mutex);
     if (channel.buffer.empty()) return;
     const std::int64_t now = NowNs();
-    const bool expired = options_.shipping == ShippingStrategy::kAdaptive &&
-                         now - channel.first_entry_ns >= FlushDeadlineForEdge(channel.edge);
+    const bool expired =
+        options_.shipping == ShippingStrategy::kAdaptive &&
+        now - channel.first_entry_ns.load(std::memory_order_relaxed) >=
+            channel.flush_deadline.load(std::memory_order_relaxed);
     if (!force && !expired) return;
     for (const Envelope& e : channel.buffer) {
       channel.sampler.OfferOutputBatchLatency(
@@ -205,6 +241,7 @@ void LocalEngine::FlushChannel(Channel& channel, bool force) {
       channel.sampler.CountItem();
     }
     flushed.swap(channel.buffer);
+    channel.first_entry_ns.store(0, std::memory_order_relaxed);
   }
   DeliverBatch(channel, std::move(flushed));
 }
@@ -225,7 +262,7 @@ void LocalEngine::FlushExpired(LocalTask* task) {
 void LocalEngine::ReportTaskFailure(LocalTask* task, const std::string& what) {
   ESP_LOG_ERROR << "task " << task->vertex_name << "[" << task->id.subtask
                 << "] failed: " << what;
-  std::lock_guard<std::mutex> lock(latency_mutex_);
+  std::lock_guard<std::mutex> lock(failure_mutex_);
   if (result_.failure.empty()) {
     result_.failure = task->vertex_name + "[" + std::to_string(task->id.subtask) +
                       "]: " + what;
@@ -258,10 +295,10 @@ void LocalEngine::SourceLoopBody(LocalTask* task, RoutingCollector& collector) {
       --parked_sources_;
       continue;
     }
-    task->busy.store(true);
+    // No busy flag here: the drain detector only consults non-source tasks
+    // (sources are parked, not drained, during a rescale).
     const bool more = task->source->Produce(collector);
-    task->busy.store(false);
-    records_emitted_.fetch_add(collector.TakeEmitted());
+    task->emitted_n.fetch_add(collector.TakeEmitted(), std::memory_order_relaxed);
     FlushExpired(task);
     if (!more) break;
   }
@@ -287,17 +324,27 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
   const SimDuration timer_period = task->udf->TimerPeriod();
   if (timer_period > 0) task->next_timer_ns = NowNs() + timer_period;
 
+  // Reused across iterations: the dequeued batch plus per-record start/end
+  // timestamps and emit flags for the post-batch metric pass.
+  std::vector<Envelope> batch;
+  batch.reserve(kPopBatch);
+  std::vector<std::int64_t> start_ns(kPopBatch);
+  std::vector<std::int64_t> end_ns(kPopBatch);
+  std::vector<bool> emitted_any(kPopBatch);
+
   for (;;) {
     if (shutdown_.load()) break;
     // busy is raised under the queue lock so the rescale drain detector
-    // never observes "queue empty + idle" while a record is in hand.
-    auto env = task->queue->PopFor(nanoseconds(1'000'000), &task->busy);
+    // never observes "queue empty + idle" while records are in hand; it
+    // stays raised until the whole batch is processed.
+    const std::size_t n =
+        task->queue->PopBatchFor(kPopBatch, nanoseconds(1'000'000), batch, &task->busy);
     const std::int64_t now = NowNs();
 
-    if (timer_period > 0 && now >= task->next_timer_ns) {
+    const bool timer_due = timer_period > 0 && now >= task->next_timer_ns;
+    if (timer_due) {
       task->busy.store(true);
       task->udf->OnTimer(collector);
-      task->busy.store(false);
       task->next_timer_ns += timer_period;
       if (collector.TakeEmitted() > 0 && !task->rw_pending.empty()) {
         std::lock_guard<std::mutex> lock(task->sampler_mutex);
@@ -307,55 +354,72 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
         }
         task->rw_pending.clear();
       }
-      FlushExpired(task);
     }
     FlushExpired(task);
 
-    if (!env) {
+    if (n == 0) {
+      if (timer_due) task->busy.store(false);
       if (task->queue->closed() && task->queue->Empty()) break;
       continue;
     }
 
-    task->busy.store(true);
+    // Arrival + channel-latency bookkeeping once per batch: one sampler
+    // lock, one channel lock per same-channel run of envelopes.
     {
       std::lock_guard<std::mutex> lock(task->sampler_mutex);
-      task->sampler.RecordArrival(now);
-      Channel& in = *channels_[env->channel];
-      std::lock_guard<std::mutex> ch_lock(in.mutex);
-      in.sampler.OfferChannelLatency(static_cast<double>(now - env->channel_emit_ns) *
-                                     1e-9);
+      for (std::size_t i = 0; i < n; ++i) task->sampler.RecordArrival(now);
     }
-
-    const std::int64_t t0 = NowNs();
-    task->udf->OnRecord(env->record, collector);
-    const std::int64_t t1 = NowNs();
-    const bool emitted = collector.TakeEmitted() > 0;
-
-    {
-      std::lock_guard<std::mutex> lock(task->sampler_mutex);
-      const double service = static_cast<double>(t1 - t0) * 1e-9;
-      task->sampler.RecordServiceTime(service);
-      if (task->latency_mode == LatencyMode::kReadReady) {
-        task->sampler.OfferTaskLatency(service);
-      } else {
-        if (task->rw_pending.size() < 256 &&
-            task->rng.Bernoulli(options_.latency_sample_probability)) {
-          task->rw_pending.push_back(t0);
-        }
-        if (emitted) {
-          for (std::int64_t t : task->rw_pending) {
-            task->sampler.OfferTaskLatency(static_cast<double>(t1 - t) * 1e-9);
-          }
-          task->rw_pending.clear();
-        }
+    for (std::size_t i = 0; i < n;) {
+      const std::uint32_t ch = batch[i].channel;
+      Channel& in = *channels_[ch];
+      std::lock_guard<std::mutex> ch_lock(in.mutex);
+      for (; i < n && batch[i].channel == ch; ++i) {
+        in.sampler.OfferChannelLatency(
+            static_cast<double>(now - batch[i].channel_emit_ns) * 1e-9);
       }
     }
 
-    if (task->is_sink && env->record.source_emit_ns != 0) {
-      records_delivered_.fetch_add(1);
-      std::lock_guard<std::mutex> lock(latency_mutex_);
-      result_.latency.Add(static_cast<double>(t1 - env->record.source_emit_ns) * 1e-9);
+    // Run the UDF over the batch.  Consecutive records share a timestamp
+    // boundary (record i's end is record i+1's start), halving clock reads.
+    std::int64_t t_prev = NowNs();
+    for (std::size_t i = 0; i < n; ++i) {
+      start_ns[i] = t_prev;
+      task->udf->OnRecord(batch[i].record, collector);
+      t_prev = NowNs();
+      end_ns[i] = t_prev;
+      emitted_any[i] = collector.TakeEmitted() > 0;
     }
+
+    // Post-batch metric pass under a single sampler lock: service times,
+    // task latencies, and the sink's latency shard + delivered counter.
+    std::uint64_t delivered = 0;
+    {
+      std::lock_guard<std::mutex> lock(task->sampler_mutex);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double service = static_cast<double>(end_ns[i] - start_ns[i]) * 1e-9;
+        task->sampler.RecordServiceTime(service);
+        if (task->latency_mode == LatencyMode::kReadReady) {
+          task->sampler.OfferTaskLatency(service);
+        } else {
+          if (task->rw_pending.size() < 256 &&
+              task->rng.Bernoulli(options_.latency_sample_probability)) {
+            task->rw_pending.push_back(start_ns[i]);
+          }
+          if (emitted_any[i]) {
+            for (std::int64_t t : task->rw_pending) {
+              task->sampler.OfferTaskLatency(static_cast<double>(end_ns[i] - t) * 1e-9);
+            }
+            task->rw_pending.clear();
+          }
+        }
+        if (task->is_sink && batch[i].record.source_emit_ns != 0) {
+          ++delivered;
+          task->latency_shard.Add(
+              static_cast<double>(end_ns[i] - batch[i].record.source_emit_ns) * 1e-9);
+        }
+      }
+    }
+    if (delivered > 0) task->delivered_n.fetch_add(delivered, std::memory_order_relaxed);
     task->busy.store(false);
   }
 
@@ -411,6 +475,7 @@ void LocalEngine::BuildEpoch() {
         task->is_source = jv.inputs.empty();
         task->is_sink = jv.outputs.empty();
         task->rng = Rng(seeder.Next());
+        task->sampler = TaskSampler(options_.latency_sample_probability, seeder.Next());
         if (task->is_source) {
           const auto it = source_factories_.find(jv.name);
           if (it == source_factories_.end()) {
@@ -428,6 +493,10 @@ void LocalEngine::BuildEpoch() {
         }
       }
       task->outputs.assign(jv.outputs.size(), {});
+      task->out_pattern.clear();
+      for (JobEdgeId out : jv.outputs) {
+        task->out_pattern.push_back(graph_.edge(out).pattern);
+      }
       task->rr.assign(jv.outputs.size(), 0);
       task->remaining_producers.store(0);
       by_id[tid] = task.get();
@@ -447,6 +516,10 @@ void LocalEngine::BuildEpoch() {
       auto channel = std::make_unique<Channel>();
       channel->id = cid;
       channel->edge = Value(e);
+      channel->flush_deadline.store(FlushDeadlineForEdge(Value(e)),
+                                    std::memory_order_relaxed);
+      channel->sampler =
+          ChannelSampler(options_.latency_sample_probability, seeder.Next());
       channel->index = static_cast<std::uint32_t>(channels_.size());
       channel->consumer = by_id.at(TaskId{edge.target, cid.consumer_subtask});
       by_id.at(TaskId{edge.source, cid.producer_subtask})
@@ -493,7 +566,10 @@ void LocalEngine::Rescale(const std::vector<ScalingAction>& actions) {
   const auto drained = [&] {
     for (auto& task : tasks_) {
       if (task->is_source || task->done.load()) continue;
-      if (task->busy.load() || !task->queue->Empty()) return false;
+      // Read the queue before the busy flag: busy is raised under the queue
+      // lock before a pop's items leave, so "empty then not busy" (in that
+      // order) can never observe an in-flight record.
+      if (!task->queue->Empty() || task->busy.load()) return false;
     }
     for (auto& channel : channels_) {
       std::lock_guard<std::mutex> lock(channel->mutex);
@@ -507,12 +583,16 @@ void LocalEngine::Rescale(const std::vector<ScalingAction>& actions) {
     stable = drained() ? stable + 1 : 0;
   }
 
-  // 3. Stop and join the non-source task threads.
+  // 3. Stop and join the non-source task threads, then bank their metric
+  // shards -- BuildEpoch is about to destroy those tasks.
   for (auto& task : tasks_) {
     if (!task->is_source && task->queue) task->queue->Close();
   }
   for (auto& task : tasks_) {
     if (!task->is_source && task->thread.joinable()) task->thread.join();
+  }
+  for (auto& task : tasks_) {
+    if (!task->is_source) HarvestTaskMetrics(task.get());
   }
 
   // 4. Apply the new parallelism and rebuild the epoch.
@@ -530,11 +610,25 @@ void LocalEngine::Rescale(const std::vector<ScalingAction>& actions) {
 
 // ------------------------------------------------------------ control loop
 
+// Folds one task's metric shards into result_ and resets them.  Control
+// thread only; safe against live task threads (counters are atomics, the
+// histogram shard is guarded by sampler_mutex).
+void LocalEngine::HarvestTaskMetrics(LocalTask* task) {
+  result_.records_emitted += task->emitted_n.exchange(0, std::memory_order_relaxed);
+  result_.records_delivered += task->delivered_n.exchange(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(task->sampler_mutex);
+  if (task->latency_shard.count() > 0) {
+    result_.latency.Merge(task->latency_shard);
+    task->latency_shard.Reset();
+  }
+}
+
 void LocalEngine::ControlTick() {
   // Harvest all samplers into sharded QoS reports (paper Fig. 4).
   std::vector<QosReport> shards(managers_.size());
   const SimTime now = NowNs();
   for (auto& task : tasks_) {
+    HarvestTaskMetrics(task.get());
     if (task->done.load()) continue;
     TaskMeasurement m;
     {
@@ -608,6 +702,10 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
       for (const auto& [edge, deadline] : last_deadlines_) {
         edge_deadlines_[edge].store(deadline);
       }
+      for (auto& channel : channels_) {
+        channel->flush_deadline.store(FlushDeadlineForEdge(channel->edge),
+                                      std::memory_order_relaxed);
+      }
     }
 
     if (options_.scaler.enabled && !constraints_.empty()) {
@@ -631,8 +729,7 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
     if (task->thread.joinable()) task->thread.join();
   }
 
-  result_.records_emitted = records_emitted_.load();
-  result_.records_delivered = records_delivered_.load();
+  for (auto& task : tasks_) HarvestTaskMetrics(task.get());
   for (JobVertexId v : graph_.VertexIds()) {
     result_.final_parallelism[graph_.vertex(v).name] = graph_.vertex(v).parallelism;
   }

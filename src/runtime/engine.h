@@ -114,12 +114,13 @@ class LocalEngine {
   void TaskLoop(LocalTask* task);
   void TaskLoopBody(LocalTask* task, RoutingCollector& collector);
   void ReportTaskFailure(LocalTask* task, const std::string& what);
-  void Append(Channel& channel, Record record);
+  void Append(Channel& channel, Record record, std::int64_t now);
   void FlushExpired(LocalTask* task);
   void FlushChannel(Channel& channel, bool force);
   void DeliverBatch(Channel& channel, std::vector<Envelope>&& batch);
   void CloseDownstream(LocalTask* task);
   void ControlTick();
+  void HarvestTaskMetrics(LocalTask* task);
   void Rescale(const std::vector<ScalingAction>& actions);
   bool AllTasksFinished();
   SimDuration FlushDeadlineForEdge(std::uint32_t edge) const;
@@ -153,10 +154,13 @@ class LocalEngine {
   std::unordered_map<std::uint32_t, std::atomic<SimDuration>> edge_deadlines_;
   FlushDeadlines last_deadlines_;
 
-  // Metrics (atomics written by task threads; histogram guarded).
-  std::atomic<std::uint64_t> records_emitted_{0};
-  std::atomic<std::uint64_t> records_delivered_{0};
-  std::mutex latency_mutex_;
+  // Metrics live in per-task shards (LocalTask::emitted_n/delivered_n
+  // counters and LocalTask::latency_shard) that HarvestTaskMetrics folds
+  // into result_ at ControlTick, rescale teardown and end of run -- the hot
+  // path never touches a global counter or lock.  result_ belongs to the
+  // control thread; task threads only write result_.failure, guarded by
+  // failure_mutex_.
+  std::mutex failure_mutex_;
   EngineResult result_;
 };
 

@@ -3,8 +3,23 @@
 // Producers block when the queue is full -- this IS the runtime's
 // backpressure (paper §III-B): a slow consumer propagates pressure upstream
 // through blocked pushes exactly like Nephele's bounded channels.
+//
+// Hot-path design:
+//   * Storage is batch-granular: PushAll moves the producer's whole vector
+//     in (O(1)) and PopBatchFor hands a full chunk back to the consumer by
+//     swap when it fits, so the per-record cost of a 64-record batch is two
+//     pointer swaps and one lock acquisition, not 128 deque operations.
+//   * Wakeups are throttled -- a pop notifies producers only when someone
+//     is actually waiting AND occupancy dropped below the low watermark (or
+//     the queue emptied, which is what an oversize batch waits for, or the
+//     smallest waiting batch now fits).  Pushes likewise skip the consumer
+//     notify when no consumer is parked.  Counting waiters under the queue
+//     mutex makes the "skip notify" decisions race-free: a waiter registers
+//     itself before releasing the lock, so a notifier holding the lock
+//     either sees it or runs before the wait.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -17,21 +32,48 @@ namespace esp::runtime {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// `low_watermark` is the occupancy below which a pop wakes blocked
+  /// producers; defaults to capacity/4 (min 1).  Lower values batch more
+  /// wakeups, higher values unblock producers sooner.
+  explicit BoundedQueue(std::size_t capacity, std::size_t low_watermark = 0)
+      : capacity_(capacity),
+        low_watermark_(low_watermark > 0 ? low_watermark
+                                         : std::max<std::size_t>(1, capacity / 4)) {}
 
   /// Blocks until all items fit or the queue is closed.  Returns false when
   /// the queue was closed (items are dropped).  A batch larger than the
   /// capacity is admitted once the queue is empty (no deadlock on oversize
   /// batches).
   bool PushAll(std::vector<T>&& items) {
+    if (items.empty()) return !closed();  // never store empty chunks
     std::unique_lock<std::mutex> lock(mutex_);
+    ++waiting_producers_;
+    min_waiting_batch_ = std::min(min_waiting_batch_, items.size());
     not_full_.wait(lock, [&] {
-      return closed_ || queue_.empty() || queue_.size() + items.size() <= capacity_;
+      return closed_ || size_ == 0 || size_ + items.size() <= capacity_;
     });
+    --waiting_producers_;
+    // min_waiting_batch_ may be stale (smaller than any remaining waiter's
+    // batch) until the last waiter leaves; that only causes a spurious
+    // notify, never a missed one.
+    if (waiting_producers_ == 0) min_waiting_batch_ = kNoWaiter;
     if (closed_) return false;
-    for (T& item : items) queue_.push_back(std::move(item));
-    items.clear();
-    not_empty_.notify_one();
+    const std::size_t n = items.size();
+    size_ += n;
+    chunks_.push_back(std::move(items));
+    items.clear();  // leave the moved-from argument in a defined state
+    if (waiting_consumers_ > 0) {
+      // A batch can satisfy several parked consumers; waking just one would
+      // strand the rest until the next push (or Close).
+      if (n > 1 && waiting_consumers_ > 1) {
+        not_empty_.notify_all();
+      } else {
+        not_empty_.notify_one();
+      }
+    }
+    // Chain to the next parked producer if its batch might still fit; it
+    // re-checks its own predicate and goes back to sleep otherwise.
+    if (waiting_producers_ > 0 && size_ < capacity_) not_full_.notify_one();
     return true;
   }
 
@@ -43,13 +85,54 @@ class BoundedQueue {
   std::optional<T> PopFor(std::chrono::nanoseconds timeout,
                           std::atomic<bool>* mark_busy = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return std::nullopt;
-    T item = std::move(queue_.front());
-    queue_.pop_front();
+    if (!WaitNotEmpty(lock, timeout)) return std::nullopt;
+    std::optional<T> item = std::move(chunks_.front()[front_pos_]);
+    ++front_pos_;
+    --size_;
+    if (front_pos_ == chunks_.front().size()) {
+      chunks_.pop_front();
+      front_pos_ = 0;
+    }
     if (mark_busy != nullptr) mark_busy->store(true);
-    not_full_.notify_all();
+    WakeProducers();
     return item;
+  }
+
+  /// Drains up to `max_items` into `out` (cleared first) under a single
+  /// lock acquisition, waiting up to `timeout` for the first item.  Returns
+  /// the number of items popped (0 on timeout or closed-and-drained).
+  /// `mark_busy` follows the same under-the-lock contract as PopFor.
+  std::size_t PopBatchFor(std::size_t max_items, std::chrono::nanoseconds timeout,
+                          std::vector<T>& out,
+                          std::atomic<bool>* mark_busy = nullptr) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!WaitNotEmpty(lock, timeout)) return 0;
+    std::size_t n = 0;
+    // Fast path: hand the front chunk over wholesale.
+    if (front_pos_ == 0 && chunks_.front().size() <= max_items) {
+      out.swap(chunks_.front());
+      chunks_.pop_front();
+      n = out.size();
+    }
+    // Drain further whole/partial chunks up to max_items.
+    while (n < max_items && !chunks_.empty()) {
+      std::vector<T>& front = chunks_.front();
+      const std::size_t take = std::min(front.size() - front_pos_, max_items - n);
+      for (std::size_t i = 0; i < take; ++i) {
+        out.push_back(std::move(front[front_pos_ + i]));
+      }
+      front_pos_ += take;
+      n += take;
+      if (front_pos_ == front.size()) {
+        chunks_.pop_front();
+        front_pos_ = 0;
+      }
+    }
+    size_ -= n;
+    if (mark_busy != nullptr) mark_busy->store(true);
+    WakeProducers();
+    return n;
   }
 
   /// Marks the queue closed; producers unblock, consumers drain what's left.
@@ -67,20 +150,56 @@ class BoundedQueue {
 
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return size_;
   }
 
   bool Empty() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.empty();
+    return size_ == 0;
   }
 
  private:
+  /// Waits for an item or close; true iff an item is available.  Call with
+  /// `lock` held.
+  bool WaitNotEmpty(std::unique_lock<std::mutex>& lock, std::chrono::nanoseconds timeout) {
+    if (size_ == 0 && !closed_) {
+      ++waiting_consumers_;
+      not_empty_.wait_for(lock, timeout, [&] { return closed_ || size_ > 0; });
+      --waiting_consumers_;
+    }
+    return size_ > 0;
+  }
+
+  /// Wakes blocked producers after a pop; call with the lock held.  Empty
+  /// wakes everyone (the strongest admission condition -- oversize batches
+  /// wait for it); below-watermark or smallest-waiting-batch-now-fits wakes
+  /// one, which chains via PushAll.  Pops that leave the queue above the
+  /// watermark with no admissible batch stay silent -- that is the wakeup
+  /// throttling: under sustained backpressure producers are woken once per
+  /// drained batch, not once per record.
+  void WakeProducers() {
+    if (waiting_producers_ == 0) return;
+    if (size_ == 0) {
+      not_full_.notify_all();
+    } else if (size_ < low_watermark_ ||
+               (size_ < capacity_ && capacity_ - size_ >= min_waiting_batch_)) {
+      not_full_.notify_one();
+    }
+  }
+
+  static constexpr std::size_t kNoWaiter = static_cast<std::size_t>(-1);
+
   const std::size_t capacity_;
+  const std::size_t low_watermark_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> queue_;
+  std::deque<std::vector<T>> chunks_;  // batch-granular storage
+  std::size_t front_pos_ = 0;          // consumed prefix of chunks_.front()
+  std::size_t size_ = 0;               // total items across chunks
+  std::size_t waiting_producers_ = 0;
+  std::size_t waiting_consumers_ = 0;
+  std::size_t min_waiting_batch_ = kNoWaiter;
   bool closed_ = false;
 };
 

@@ -13,12 +13,14 @@ void EventQueue::Schedule(SimTime when, EventType type, std::uint32_t a, std::ui
   e.a = a;
   e.b = b;
   e.generation = generation;
-  heap_.push(e);
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 Event EventQueue::Pop() {
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Event e = heap_.back();
+  heap_.pop_back();
   now_ = e.time;
   return e;
 }

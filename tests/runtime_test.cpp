@@ -3,6 +3,7 @@
 // windowed UDFs, termination, and stop-the-world elastic rescaling).
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -89,6 +90,99 @@ TEST(BoundedQueue, FullQueueBlocksProducerUntilConsumed) {
   q.PopFor(nanoseconds(1'000'000));
   producer.join();
   EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueue, PopBatchForDrainsUpToLimitInOrder) {
+  BoundedQueue<int> q(16);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{1, 2, 3}));
+  ASSERT_TRUE(q.PushAll(std::vector<int>{4, 5}));
+  std::vector<int> out;
+  // Takes the whole first chunk plus part of the second, preserving FIFO.
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 1u);
+  EXPECT_EQ(out, (std::vector<int>{5}));
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 0u);
+}
+
+TEST(BoundedQueue, OversizeBatchAdmittedAfterDrain) {
+  // Regression: an oversize batch arriving while the queue is NON-empty must
+  // block until the queue fully drains, then be admitted -- the pop-side
+  // "queue emptied" wakeup is what lets it through.
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{1, 2}));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.PushAll(std::vector<int>{3, 4, 5, 6, 7});
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // waits: queue is occupied and batch > capacity
+  std::vector<int> got, out;
+  for (int i = 0; i < 100 && got.size() < 7; ++i) {
+    q.PopBatchFor(4, nanoseconds(50'000'000), out);
+    got.insert(got.end(), out.begin(), out.end());
+  }
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(BoundedQueue, BatchPushWakesAllWaitingConsumers) {
+  // Regression: a multi-item PushAll can satisfy several parked consumers;
+  // waking only one would strand the other until its timeout.
+  BoundedQueue<int> q(8);
+  std::atomic<int> got{0};
+  auto consume = [&] {
+    if (q.PopFor(std::chrono::seconds(5)).has_value()) got.fetch_add(1);
+  };
+  std::thread c1(consume), c2(consume);
+  std::this_thread::sleep_for(milliseconds(20));  // let both consumers park
+  ASSERT_TRUE(q.PushAll(std::vector<int>{1, 2}));
+  c1.join();
+  c2.join();
+  EXPECT_EQ(got.load(), 2);
+}
+
+TEST(BoundedQueue, DrainDetectorSeesNoInFlightItems) {
+  // Stress for the invariant stop-the-world rescaling relies on: mark_busy
+  // is set under the queue lock iff items were returned, so an observer who
+  // reads the queue empty and THEN the flag false can conclude every pushed
+  // item has been fully processed.
+  BoundedQueue<int> q(16);
+  std::atomic<bool> busy{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> processed{0};
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (!stop.load()) {
+      const std::size_t n = q.PopBatchFor(8, nanoseconds(200'000), batch, &busy);
+      if (n > 0) {
+        processed.fetch_add(n);  // "process" before declaring idle
+        busy.store(false);
+      }
+    }
+  });
+  std::uint64_t pushed = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> burst(1 + round % 13, round);
+    pushed += burst.size();
+    ASSERT_TRUE(q.PushAll(std::move(burst)));
+    // Same protocol as LocalEngine::Rescale: three consecutive observations
+    // of (queue empty, then task not busy) -- in that order.
+    int stable = 0;
+    while (stable < 3) {
+      const bool empty = q.Empty();    // read queue state first...
+      const bool idle = !busy.load();  // ...then the busy flag
+      stable = (empty && idle) ? stable + 1 : 0;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ASSERT_EQ(processed.load(), pushed) << "round " << round;
+  }
+  stop.store(true);
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(processed.load(), pushed);
 }
 
 // ---------------------------------------------------------------- fixtures
