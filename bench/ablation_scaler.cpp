@@ -47,9 +47,12 @@ struct Variant {
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kError);
   std::printf("ABLATION: scaler design choices on the elastic PrimeTester job\n");
+  const std::uint64_t seed = bench::ArgSeed(argc, argv, 17);
+  std::printf("seed=%llu (override with --seed N)\n",
+              static_cast<unsigned long long>(seed));
   std::printf("#%-26s %12s %12s %12s %10s %8s %8s\n", "variant", "fulfilled[%]",
               "task-hours", "node-hours", "churn", "min_p", "max_p");
 
@@ -68,7 +71,7 @@ int main(int, char**) {
     config.shipping = ShippingStrategy::kAdaptive;
     config.scaler.enabled = true;
     config.workers = 40;
-    config.seed = 17;
+    config.seed = seed;
     config.scaler.strategy.model.use_error_coefficient = variant.error_coefficient;
     config.scaler.strategy.max_target_utilization = variant.max_target_utilization;
     config.scaler.strategy.queue_wait_fraction = variant.queue_wait_fraction;

@@ -6,7 +6,9 @@
 // finishes in minutes; pass --full for paper-scale runs.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -23,6 +25,18 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// Value of `--seed N` among the arguments, or `fallback` when absent.
+/// Benches print the seed they run with, so RNG-driven workloads and fault
+/// schedules reproduce exactly from the logged command line.
+inline std::uint64_t ArgSeed(int argc, char** argv, std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
 }
 
 /// Writes the run's window/adjustment series next to the bench as

@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kError);
   std::printf("FIG3: PrimeTester, static provisioning, 4 shipping configs%s\n",
               full ? " (FULL scale)" : " (1/5 scale; --full for paper scale)");
+  // Each config has its own base seed; --seed N shifts all of them by N so a
+  // whole alternate-seed sweep stays a single command-line flag.
+  const std::uint64_t seed_shift = bench::ArgSeed(argc, argv, 0);
 
   const std::vector<Config> configs = {
       {"Storm", ShippingStrategy::kInstantFlush, 101},
@@ -76,12 +79,13 @@ int main(int argc, char** argv) {
     sim_config.shipping = config.shipping;
     sim_config.scaler.enabled = false;  // static provisioning
     sim_config.workers = full ? 50 : 16;
-    sim_config.seed = config.seed;
+    sim_config.seed = config.seed + seed_shift;
 
     PrimeTesterSim pt = BuildPrimeTesterSim(params, sim_config);
     const sim::RunResult result = pt.sim->Run(pt.schedule_length);
 
     bench::Section(config.name);
+    std::printf("seed=%llu\n", static_cast<unsigned long long>(sim_config.seed));
     bench::PrintWindowHeader();
     // Peak SUSTAINABLE throughput: source emission transiently exceeds it
     // while queues fill, and sink delivery transiently exceeds it while

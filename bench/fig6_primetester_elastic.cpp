@@ -58,6 +58,9 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kError);
   std::printf("FIG6: PrimeTester with reactive scaling vs unelastic baseline%s\n",
               full ? " (FULL scale)" : " (1/4 scale; --full for paper scale)");
+  const std::uint64_t seed = bench::ArgSeed(argc, argv, 7);
+  std::printf("seed=%llu (baseline uses seed+1; override with --seed N)\n",
+              static_cast<unsigned long long>(seed));
 
   // ---------------- elastic Nephele-20ms ----------------
   PrimeTesterParams params = ElasticParams(full);
@@ -65,7 +68,7 @@ int main(int argc, char** argv) {
   config.shipping = ShippingStrategy::kAdaptive;
   config.scaler.enabled = true;
   config.workers = full ? 130 : 40;
-  config.seed = 7;
+  config.seed = seed;
 
   PrimeTesterSim elastic = BuildPrimeTesterSim(params, config);
   const sim::RunResult elastic_result = elastic.sim->Run(elastic.schedule_length);
@@ -105,7 +108,7 @@ int main(int argc, char** argv) {
   sim::SimConfig baseline_config = config;
   baseline_config.shipping = ShippingStrategy::kFixedBuffer;
   baseline_config.scaler.enabled = false;
-  baseline_config.seed = 8;
+  baseline_config.seed = seed + 1;
 
   PrimeTesterSim baseline = BuildPrimeTesterSim(baseline_params, baseline_config);
   const sim::RunResult baseline_result = baseline.sim->Run(baseline.schedule_length);

@@ -56,7 +56,9 @@ int main(int argc, char** argv) {
   config.shipping = ShippingStrategy::kAdaptive;
   config.scaler.enabled = true;
   config.workers = full ? 130 : 40;
-  config.seed = 13;
+  config.seed = bench::ArgSeed(argc, argv, 13);
+  std::printf("seed=%llu (override with --seed N)\n",
+              static_cast<unsigned long long>(config.seed));
 
   TwitterSim tw = BuildTwitterSim(params, config);
   const sim::RunResult r = tw.sim->Run(tw.duration);

@@ -7,7 +7,13 @@
 // micro_engine.tsv next to the binary.  EXPERIMENTS.md records the
 // baseline (pre-batching) vs. optimized numbers.
 //
-// Usage: micro_engine [--records N] [--queue N] [--batch N] [--tsv]
+// Fault-injection mode: `--fail-at N` makes the Map task throw at its Nth
+// record and `--policy restart-task|restart-epoch|fail-fast` selects the
+// recovery policy, so recovery overhead can be measured against the clean
+// run; `--seed S` seeds the injector for reproducible schedules.
+//
+// Usage: micro_engine [--records N] [--queue N] [--batch N] [--seed S]
+//                     [--fail-at N] [--policy P] [--tsv]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +36,8 @@ using runtime::Collector;
 using runtime::EngineResult;
 using runtime::LocalEngine;
 using runtime::LocalEngineOptions;
+using runtime::FailurePolicy;
+using runtime::FaultInjector;
 using runtime::Record;
 using runtime::SourceFunction;
 using runtime::Udf;
@@ -39,6 +47,22 @@ int ArgInt(int argc, char** argv, const char* flag, int fallback) {
     if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
   }
   return fallback;
+}
+
+const char* ArgStr(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+FailurePolicy ParsePolicy(const char* name) {
+  if (std::strcmp(name, "restart-task") == 0) return FailurePolicy::kRestartTask;
+  if (std::strcmp(name, "restart-epoch") == 0) return FailurePolicy::kRestartEpoch;
+  if (std::strcmp(name, "fail-fast") == 0) return FailurePolicy::kFailFast;
+  std::fprintf(stderr, "unknown --policy '%s' (want fail-fast|restart-task|restart-epoch)\n",
+               name);
+  std::exit(2);
 }
 
 // Emits `total` int records as fast as Produce() is called.
@@ -79,10 +103,19 @@ struct Row {
   double p50_ms = 0;
   double p99_ms = 0;
   bool exact = false;    // delivered == emitted == records
+  std::uint32_t restarts = 0;
+  std::uint64_t redelivered = 0;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  int fail_at = 0;  // 0 = injection off
+  FailurePolicy policy = FailurePolicy::kRestartTask;
 };
 
 Row RunOnce(const char* name, ShippingStrategy shipping, int records,
-            std::size_t queue_capacity, std::uint32_t batch_capacity) {
+            std::size_t queue_capacity, std::uint32_t batch_capacity,
+            const FaultConfig& fc) {
   JobGraph g;
   const auto src = g.AddVertex({.name = "Src", .parallelism = 1, .max_parallelism = 1});
   const auto map = g.AddVertex({.name = "Map", .parallelism = 1, .max_parallelism = 1});
@@ -94,6 +127,14 @@ Row RunOnce(const char* name, ShippingStrategy shipping, int records,
   opts.shipping = shipping;
   opts.queue_capacity = queue_capacity;
   opts.batch_capacity = batch_capacity;
+
+  FaultInjector injector(fc.seed);
+  if (fc.fail_at > 0) {
+    injector.ThrowAtRecord("Map", /*subtask=*/0,
+                           static_cast<std::uint64_t>(fc.fail_at));
+    opts.recovery.policy = fc.policy;
+    opts.fault_injector = &injector;
+  }
 
   LocalEngine engine(std::move(g), opts);
   engine.SetSource("Src", [records](std::uint32_t) {
@@ -113,10 +154,21 @@ Row RunOnce(const char* name, ShippingStrategy shipping, int records,
   row.rate = static_cast<double>(result.records_delivered) / row.elapsed_s;
   row.p50_ms = result.latency.Quantile(0.5) * 1e3;
   row.p99_ms = result.latency.Quantile(0.99) * 1e3;
-  row.exact = result.failure.empty() &&
-              result.records_emitted == static_cast<std::uint64_t>(records) &&
-              result.records_delivered == static_cast<std::uint64_t>(records) &&
-              result.latency.count() == static_cast<std::uint64_t>(records);
+  row.restarts = result.restarts;
+  row.redelivered = result.records_redelivered;
+  if (fc.fail_at > 0) {
+    // With injection the run is "exact" when it recovered and delivered at
+    // least every record (redelivery may add a few extras).
+    row.exact = result.restarts >= 1 &&
+                result.records_delivered >= static_cast<std::uint64_t>(records) &&
+                result.records_delivered <=
+                    static_cast<std::uint64_t>(records) + result.records_redelivered;
+  } else {
+    row.exact = result.clean() &&
+                result.records_emitted == static_cast<std::uint64_t>(records) &&
+                result.records_delivered == static_cast<std::uint64_t>(records) &&
+                result.latency.count() == static_cast<std::uint64_t>(records);
+  }
   return row;
 }
 
@@ -130,31 +182,45 @@ int main(int argc, char** argv) {
   const int queue = ArgInt(argc, argv, "--queue", 1024);
   const int batch = ArgInt(argc, argv, "--batch", 64);
 
+  FaultConfig fc;
+  fc.seed = static_cast<std::uint64_t>(ArgInt(argc, argv, "--seed", 1));
+  fc.fail_at = ArgInt(argc, argv, "--fail-at", 0);
+  fc.policy = ParsePolicy(ArgStr(argc, argv, "--policy", "restart-task"));
+
   Section("micro_engine: 1-source/1-map/1-sink, trivial UDFs, full blast");
-  std::printf("records=%d queue_capacity=%d batch_capacity=%d\n", records, queue, batch);
+  std::printf("records=%d queue_capacity=%d batch_capacity=%d seed=%llu\n", records,
+              queue, batch, static_cast<unsigned long long>(fc.seed));
+  if (fc.fail_at > 0) {
+    std::printf("fault: Map[0] throws at record %d, policy=%s\n", fc.fail_at,
+                ArgStr(argc, argv, "--policy", "restart-task"));
+  }
 
   std::vector<Row> rows;
-  rows.push_back(
-      RunOnce("instant", esp::ShippingStrategy::kInstantFlush, records, queue, batch));
-  rows.push_back(
-      RunOnce("fixed", esp::ShippingStrategy::kFixedBuffer, records, queue, batch));
-  rows.push_back(
-      RunOnce("adaptive", esp::ShippingStrategy::kAdaptive, records, queue, batch));
+  rows.push_back(RunOnce("instant", esp::ShippingStrategy::kInstantFlush, records,
+                         queue, batch, fc));
+  rows.push_back(RunOnce("fixed", esp::ShippingStrategy::kFixedBuffer, records, queue,
+                         batch, fc));
+  rows.push_back(RunOnce("adaptive", esp::ShippingStrategy::kAdaptive, records, queue,
+                         batch, fc));
 
-  std::printf("#%11s %10s %10s %12s %12s %12s %6s\n", "config", "records", "time[s]",
-              "records/s", "p50[ms]", "p99[ms]", "exact");
+  std::printf("#%11s %10s %10s %12s %12s %12s %6s %8s %8s\n", "config", "records",
+              "time[s]", "records/s", "p50[ms]", "p99[ms]", "exact", "restarts",
+              "redeliv");
   for (const Row& r : rows) {
-    std::printf("%12s %10d %10.3f %12.0f %12.3f %12.3f %6s\n", r.config.c_str(),
-                r.records, r.elapsed_s, r.rate, r.p50_ms, r.p99_ms,
-                r.exact ? "yes" : "NO");
+    std::printf("%12s %10d %10.3f %12.0f %12.3f %12.3f %6s %8u %8llu\n",
+                r.config.c_str(), r.records, r.elapsed_s, r.rate, r.p50_ms, r.p99_ms,
+                r.exact ? "yes" : "NO", r.restarts,
+                static_cast<unsigned long long>(r.redelivered));
   }
 
   if (HasFlag(argc, argv, "--tsv")) {
     std::ofstream out("micro_engine.tsv");
-    out << "config\trecords\ttime_s\trecords_per_s\tp50_ms\tp99_ms\texact\n";
+    out << "config\trecords\ttime_s\trecords_per_s\tp50_ms\tp99_ms\texact\trestarts"
+           "\tredelivered\n";
     for (const Row& r : rows) {
       out << r.config << '\t' << r.records << '\t' << r.elapsed_s << '\t' << r.rate
-          << '\t' << r.p50_ms << '\t' << r.p99_ms << '\t' << (r.exact ? 1 : 0) << '\n';
+          << '\t' << r.p50_ms << '\t' << r.p99_ms << '\t' << (r.exact ? 1 : 0) << '\t'
+          << r.restarts << '\t' << r.redelivered << '\n';
     }
     std::printf("wrote micro_engine.tsv\n");
   }

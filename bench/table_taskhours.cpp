@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kError);
   std::printf("TABLE: task-hours vs latency constraint, elastic PrimeTester%s\n",
               full ? " (FULL scale)" : " (1/4 scale; --full for paper scale)");
+  const std::uint64_t seed = bench::ArgSeed(argc, argv, 11);
+  std::printf("seed=%llu (override with --seed N)\n",
+              static_cast<unsigned long long>(seed));
   std::printf("#%10s %12s %12s %14s %14s\n", "bound[ms]", "task-hours", "PT-hours",
               "fulfilled[%]", "mean_p95[ms]");
 
@@ -60,7 +63,7 @@ int main(int argc, char** argv) {
     config.shipping = ShippingStrategy::kAdaptive;
     config.scaler.enabled = true;
     config.workers = full ? 130 : 40;
-    config.seed = 11;
+    config.seed = seed;
 
     PrimeTesterSim pt = BuildPrimeTesterSim(params, config);
     const sim::RunResult r = pt.sim->Run(pt.schedule_length);

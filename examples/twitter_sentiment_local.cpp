@@ -227,6 +227,6 @@ int main() {
               static_cast<unsigned long long>(result.records_emitted),
               static_cast<unsigned long long>(result.records_delivered));
   std::printf("end-to-end latency: %s (seconds)\n", result.latency.Summary().c_str());
-  if (!result.failure.empty()) std::printf("FAILURE: %s\n", result.failure.c_str());
-  return result.failure.empty() ? 0 : 1;
+  if (!result.clean()) std::printf("FAILURE: %s\n", result.first_failure().c_str());
+  return result.clean() ? 0 : 1;
 }

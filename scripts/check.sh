@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full pre-merge check: release build + test suite, then a ThreadSanitizer
-# build of the threaded-runtime tests (the hot path is lock-striped and
-# wakeup-throttled; TSan is the gate that keeps it honest).
+# Full pre-merge check: release build + test suite, then sanitizer builds of
+# the threaded-runtime tests -- TSan (the hot path is lock-striped and
+# wakeup-throttled; this is the gate that keeps it honest), ASan (restart
+# paths recycle queues/channels across epochs) and UBSan.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -18,5 +19,15 @@ echo "== ThreadSanitizer build of runtime_test =="
 cmake -B build-tsan -S . -DESP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target runtime_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
+
+echo "== AddressSanitizer build of runtime_test =="
+cmake -B build-asan -S . -DESP_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" --target runtime_test
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" ./build-asan/tests/runtime_test
+
+echo "== UndefinedBehaviorSanitizer build of runtime_test =="
+cmake -B build-ubsan -S . -DESP_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$JOBS" --target runtime_test
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/runtime_test
 
 echo "All checks passed."

@@ -9,6 +9,7 @@
 // transiently worsen channel latency.  Scale-downs need no inactivity.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -67,6 +68,14 @@ class ElasticScaler {
 
   /// True when the scaler is inside a post-scale-up inactivity window.
   bool IsInactive() const { return inactivity_remaining_ > 0; }
+
+  /// Forces at least `intervals` inactive adjustment rounds, without
+  /// shortening an already-armed window.  Called after a failure recovery:
+  /// the first post-restart summary reflects the outage and the replay
+  /// burst, and reacting to it would scale a healthy vertex.
+  void SuppressFor(std::uint32_t intervals) {
+    inactivity_remaining_ = std::max(inactivity_remaining_, intervals);
+  }
 
  private:
   ElasticScalerOptions options_;

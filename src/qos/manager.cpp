@@ -1,5 +1,6 @@
 #include "qos/manager.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace esp {
@@ -52,6 +53,9 @@ QosManager::QosManager(std::size_t history_length) : history_length_(history_len
 }
 
 void QosManager::Ingest(const QosReport& report) {
+  // Recovery transient: windows overlapping an outage mix stall + replay
+  // burst into the statistics; drop the whole report.
+  if (report.time < stale_until_) return;
   for (const auto& [task, m] : report.tasks) {
     // Intervals without any consumed item carry no service/inter-arrival
     // information; recording them would drag vertex averages toward zero.
@@ -93,6 +97,10 @@ void QosManager::Prune(const RuntimeGraph& rg) {
     }
     it = live ? std::next(it) : channel_history_.erase(it);
   }
+}
+
+void QosManager::MarkStale(SimTime until) {
+  stale_until_ = std::max(stale_until_, until);
 }
 
 void QosManager::DropVertex(JobVertexId vertex, const std::vector<JobEdgeId>& adjacent_edges) {

@@ -75,6 +75,12 @@ class QosManager {
   /// rates, batch sizes and channel latencies all shift with p).
   void DropVertex(JobVertexId vertex, const std::vector<JobEdgeId>& adjacent_edges);
 
+  /// Discards every report stamped earlier than `until`.  Called after a
+  /// failure recovery: measurement windows overlapping the outage mix the
+  /// stall and the replay burst into the arrival/service statistics, which
+  /// would poison the Kingman-model inputs for up to history_length rounds.
+  void MarkStale(SimTime until);
+
   /// Computes the partial summary over the manager's current history
   /// (vertex/edge averages per Eq. 2, weighted by task/channel counts).
   PartialSummary MakePartialSummary(SimTime now) const;
@@ -84,6 +90,7 @@ class QosManager {
 
  private:
   std::size_t history_length_;
+  SimTime stale_until_ = 0;  ///< reports stamped before this are discarded
   std::unordered_map<TaskId, std::deque<TaskMeasurement>> task_history_;
   std::unordered_map<ChannelId, std::deque<ChannelMeasurement>> channel_history_;
 };

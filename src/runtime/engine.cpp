@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
+#include <limits>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -70,6 +72,22 @@ struct LocalEngine::LocalTask {
   std::atomic<std::uint64_t> emitted_n{0};    // sources: records emitted
   std::atomic<std::uint64_t> delivered_n{0};  // sinks: records consumed
   LogHistogram latency_shard{1e-6, 1.05};     // guarded by sampler_mutex
+
+  // Failure/recovery state.  `failed` is raised by the dying task thread
+  // (after its FailureEvent is published) and cleared by the supervisor on
+  // restart.  `salvage` holds the mid-batch remainder the dying thread left
+  // behind plus anything the supervisor pumped out of the queue; it is only
+  // touched by the task thread before done=true and by the control thread
+  // after, so it needs no lock.  `fault` is the task's resolved injection
+  // binding: the record/crash/wedge parts are task-thread-only, while
+  // `fault.delay` is read by producer threads inside DeliverBatch -- it is
+  // assigned once per epoch before threads start and never reassigned on an
+  // in-place restart.
+  std::atomic<bool> failed{false};
+  std::vector<Envelope> salvage;
+  std::size_t last_failure_index = static_cast<std::size_t>(-1);  // failure_mutex_
+  bool abandoned = false;  ///< reported stuck at teardown (control thread only)
+  FaultBinding fault;
 };
 
 // Routes a UDF's emissions onto the task's output channels.
@@ -121,6 +139,7 @@ class LocalEngine::RoutingCollector final : public Collector {
 
 LocalEngine::LocalEngine(JobGraph graph, LocalEngineOptions options)
     : graph_(std::move(graph)), options_(options), scaler_(options.scaler) {
+  backoff_rng_ = Rng(options_.recovery.jitter_seed);
   managers_.reserve(options_.qos_manager_count);
   for (std::size_t i = 0; i < options_.qos_manager_count; ++i) {
     managers_.emplace_back(options_.qos_history);
@@ -133,9 +152,11 @@ LocalEngine::LocalEngine(JobGraph graph, LocalEngineOptions options)
 LocalEngine::~LocalEngine() {
   shutdown_.store(true);
   control_cv_.notify_all();
-  for (auto& task : tasks_) {
-    if (task->queue) task->queue->Close();
-  }
+  TeardownEpoch();
+  // Threads abandoned by the bounded teardown must be collected before the
+  // engine state they reference is destroyed; blocking here is the only
+  // memory-safe option (a detached thread waking later would touch freed
+  // queues and condition variables).
   for (auto& task : tasks_) {
     if (task->thread.joinable()) task->thread.join();
   }
@@ -247,6 +268,14 @@ void LocalEngine::FlushChannel(Channel& channel, bool force) {
 }
 
 void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>&& batch) {
+  // Injected delivery delay (slow link / GC pause).  `fault.delay` is bound
+  // before the epoch's threads start and never reassigned, so this
+  // producer-side read is race-free; the null check is the entire cost when
+  // injection is off.
+  auto* delay = channel.consumer->fault.delay;
+  if (delay != nullptr && delay->TryConsume()) {
+    std::this_thread::sleep_for(nanoseconds(delay->duration));
+  }
   // Blocking push: this is the backpressure path.
   channel.consumer->queue->PushAll(std::move(batch));
 }
@@ -262,24 +291,39 @@ void LocalEngine::FlushExpired(LocalTask* task) {
 void LocalEngine::ReportTaskFailure(LocalTask* task, const std::string& what) {
   ESP_LOG_ERROR << "task " << task->vertex_name << "[" << task->id.subtask
                 << "] failed: " << what;
-  std::lock_guard<std::mutex> lock(failure_mutex_);
-  if (result_.failure.empty()) {
-    result_.failure = task->vertex_name + "[" + std::to_string(task->id.subtask) +
-                      "]: " + what;
+  {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    FailureEvent ev;
+    ev.vertex = task->vertex_name;
+    ev.subtask = task->id.subtask;
+    ev.time = NowNs();
+    ev.what = what;
+    task->last_failure_index = result_.failures.size();
+    result_.failures.push_back(std::move(ev));
   }
+  // Publish AFTER the event so the supervisor (which clears
+  // failure_pending_ before scanning failed flags) always finds the event.
+  task->failed.store(true);
+  failure_pending_.store(true);
 }
 
 void LocalEngine::SourceLoop(LocalTask* task) {
   RoutingCollector collector(this, task);
+  bool crashed = false;
   try {
     SourceLoopBody(task, collector);
   } catch (const std::exception& e) {
+    crashed = true;
+    // Bank the emissions between the last harvest and the throw.
+    task->emitted_n.fetch_add(collector.TakeEmitted(), std::memory_order_relaxed);
     ReportTaskFailure(task, e.what());
   }
   for (auto& per_edge : task->outputs) {
     for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/true);
   }
-  CloseDownstream(task);
+  // A crashed source may be restarted by the supervisor, so it must not
+  // close downstream queues -- only a clean end-of-stream does.
+  if (!crashed) CloseDownstream(task);
   task->done.store(true);
   control_cv_.notify_all();
 }
@@ -295,6 +339,9 @@ void LocalEngine::SourceLoopBody(LocalTask* task, RoutingCollector& collector) {
       --parked_sources_;
       continue;
     }
+    if (task->fault.crash != nullptr) {
+      task->fault.TickCrash(task->vertex_name, task->id.subtask, NowNs());
+    }
     // No busy flag here: the drain detector only consults non-source tasks
     // (sources are parked, not drained, during a rescale).
     const bool more = task->source->Produce(collector);
@@ -306,15 +353,21 @@ void LocalEngine::SourceLoopBody(LocalTask* task, RoutingCollector& collector) {
 
 void LocalEngine::TaskLoop(LocalTask* task) {
   RoutingCollector collector(this, task);
+  bool crashed = false;
   try {
     TaskLoopBody(task, collector);
   } catch (const std::exception& e) {
+    crashed = true;
     ReportTaskFailure(task, e.what());
   }
   for (auto& per_edge : task->outputs) {
     for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/true);
   }
-  if (!shutdown_.load()) CloseDownstream(task);
+  // A crashed task keeps its downstream open (the supervisor may restart it
+  // and it will produce again); it also drops the busy flag its aborted
+  // batch left raised so the drain detector can settle.
+  if (!shutdown_.load() && !crashed) CloseDownstream(task);
+  if (crashed) task->busy.store(false);
   task->done.store(true);
   control_cv_.notify_all();
 }
@@ -332,8 +385,60 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
   std::vector<std::int64_t> end_ns(kPopBatch);
   std::vector<bool> emitted_any(kPopBatch);
 
+  // Post-batch metric pass under a single sampler lock: service times, task
+  // latencies, and the sink's latency shard + delivered counter.  Shared by
+  // the happy path (count == n) and the mid-batch-failure path, where it
+  // covers exactly the completed prefix so redelivery cannot double-count.
+  const auto post_batch_metrics = [&](std::size_t count) {
+    std::uint64_t delivered = 0;
+    {
+      std::lock_guard<std::mutex> lock(task->sampler_mutex);
+      for (std::size_t i = 0; i < count; ++i) {
+        const double service = static_cast<double>(end_ns[i] - start_ns[i]) * 1e-9;
+        task->sampler.RecordServiceTime(service);
+        if (task->latency_mode == LatencyMode::kReadReady) {
+          task->sampler.OfferTaskLatency(service);
+        } else {
+          if (task->rw_pending.size() < 256 &&
+              task->rng.Bernoulli(options_.latency_sample_probability)) {
+            task->rw_pending.push_back(start_ns[i]);
+          }
+          if (emitted_any[i]) {
+            for (std::int64_t t : task->rw_pending) {
+              task->sampler.OfferTaskLatency(static_cast<double>(end_ns[i] - t) * 1e-9);
+            }
+            task->rw_pending.clear();
+          }
+        }
+        if (task->is_sink && batch[i].record.source_emit_ns != 0) {
+          ++delivered;
+          task->latency_shard.Add(
+              static_cast<double>(end_ns[i] - batch[i].record.source_emit_ns) * 1e-9);
+        }
+      }
+    }
+    if (delivered > 0) task->delivered_n.fetch_add(delivered, std::memory_order_relaxed);
+  };
+
   for (;;) {
     if (shutdown_.load()) break;
+    if (task->fault.crash != nullptr) {
+      task->fault.TickCrash(task->vertex_name, task->id.subtask, NowNs());
+    }
+    if (task->fault.wedge != nullptr) {
+      // Injected wedge: stop consuming during [from, from+duration) (0 =
+      // until shutdown).  Always releases on shutdown_ so teardown can join.
+      const auto* w = task->fault.wedge;
+      const std::int64_t wedge_end =
+          w->duration > 0 ? w->at_time + w->duration
+                          : std::numeric_limits<std::int64_t>::max();
+      while (!shutdown_.load()) {
+        const std::int64_t t = NowNs();
+        if (t < w->at_time || t >= wedge_end) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (shutdown_.load()) break;
+    }
     // busy is raised under the queue lock so the rescale drain detector
     // never observes "queue empty + idle" while records are in hand; it
     // stays raised until the whole batch is processed.
@@ -381,45 +486,32 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
 
     // Run the UDF over the batch.  Consecutive records share a timestamp
     // boundary (record i's end is record i+1's start), halving clock reads.
+    // On a throw, bank metrics for the completed prefix [0, i) and leave
+    // the unprocessed remainder -- INCLUDING the record that failed -- in
+    // task->salvage for the supervisor to redeliver (at-least-once).
     std::int64_t t_prev = NowNs();
-    for (std::size_t i = 0; i < n; ++i) {
-      start_ns[i] = t_prev;
-      task->udf->OnRecord(batch[i].record, collector);
-      t_prev = NowNs();
-      end_ns[i] = t_prev;
-      emitted_any[i] = collector.TakeEmitted() > 0;
+    std::size_t processed = 0;
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        start_ns[i] = t_prev;
+        if (task->fault.has_record_faults()) {
+          task->fault.TickRecord(task->vertex_name, task->id.subtask);
+        }
+        task->udf->OnRecord(batch[i].record, collector);
+        t_prev = NowNs();
+        end_ns[i] = t_prev;
+        emitted_any[i] = collector.TakeEmitted() > 0;
+        processed = i + 1;
+      }
+    } catch (...) {
+      post_batch_metrics(processed);
+      task->salvage.assign(std::make_move_iterator(batch.begin() +
+                                                   static_cast<std::ptrdiff_t>(processed)),
+                           std::make_move_iterator(batch.end()));
+      throw;
     }
 
-    // Post-batch metric pass under a single sampler lock: service times,
-    // task latencies, and the sink's latency shard + delivered counter.
-    std::uint64_t delivered = 0;
-    {
-      std::lock_guard<std::mutex> lock(task->sampler_mutex);
-      for (std::size_t i = 0; i < n; ++i) {
-        const double service = static_cast<double>(end_ns[i] - start_ns[i]) * 1e-9;
-        task->sampler.RecordServiceTime(service);
-        if (task->latency_mode == LatencyMode::kReadReady) {
-          task->sampler.OfferTaskLatency(service);
-        } else {
-          if (task->rw_pending.size() < 256 &&
-              task->rng.Bernoulli(options_.latency_sample_probability)) {
-            task->rw_pending.push_back(start_ns[i]);
-          }
-          if (emitted_any[i]) {
-            for (std::int64_t t : task->rw_pending) {
-              task->sampler.OfferTaskLatency(static_cast<double>(end_ns[i] - t) * 1e-9);
-            }
-            task->rw_pending.clear();
-          }
-        }
-        if (task->is_sink && batch[i].record.source_emit_ns != 0) {
-          ++delivered;
-          task->latency_shard.Add(
-              static_cast<double>(end_ns[i] - batch[i].record.source_emit_ns) * 1e-9);
-        }
-      }
-    }
-    if (delivered > 0) task->delivered_n.fetch_add(delivered, std::memory_order_relaxed);
+    post_batch_metrics(n);
     task->busy.store(false);
   }
 
@@ -491,6 +583,9 @@ void LocalEngine::BuildEpoch() {
           task->latency_mode = task->udf->latency_mode();
           task->queue = std::make_unique<BoundedQueue<Envelope>>(options_.queue_capacity);
         }
+        if (options_.fault_injector != nullptr) {
+          task->fault = options_.fault_injector->Resolve(jv.name, tid.subtask);
+        }
       }
       task->outputs.assign(jv.outputs.size(), {});
       task->out_pattern.clear();
@@ -540,23 +635,129 @@ void LocalEngine::StartThreads() {
   }
 }
 
-void LocalEngine::Rescale(const std::vector<ScalingAction>& actions) {
+// Bounded shutdown of the current epoch's threads.  Queues are closed so
+// blocked producers/consumers unblock, then threads are polled for done up
+// to recovery.teardown_timeout.  A thread that never acknowledges (a UDF
+// stuck in user code -- the injected wedge always releases on shutdown_) is
+// reported as a failure and left running so Run() can return on time; the
+// destructor joins it before the engine state it references is destroyed.
+void LocalEngine::TeardownEpoch() {
+  for (auto& task : tasks_) {
+    if (task->queue) task->queue->Close();
+  }
+  const std::int64_t deadline = NowNs() + options_.recovery.teardown_timeout;
+  for (;;) {
+    bool pending = false;
+    for (auto& task : tasks_) {
+      if (task->thread.joinable() && !task->abandoned && !task->done.load()) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending || NowNs() >= deadline) break;
+    control_cv_.notify_all();  // re-nudge parked sources / wedged waiters
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& task : tasks_) {
+    if (!task->thread.joinable()) continue;
+    if (task->done.load()) {
+      task->thread.join();
+      continue;
+    }
+    if (!task->abandoned) {
+      task->abandoned = true;
+      ReportTaskFailure(task.get(),
+                        "task thread did not exit within the teardown timeout");
+    }
+  }
+}
+
+// Drains the queues of dead (failed && done) tasks into their salvage
+// buffers.  Keeps producers blocked on a dead task's full queue moving
+// during a pause/drain; harmless otherwise (a dead task's queue has no
+// consumer).  Control thread only.
+void LocalEngine::PumpFailedTasks() {
+  for (auto& task : tasks_) {
+    if (task->is_source || !task->queue) continue;
+    if (!task->failed.load() || !task->done.load()) continue;
+    std::vector<Envelope> drained = task->queue->DrainAll();
+    if (drained.empty()) continue;
+    task->salvage.insert(task->salvage.end(), std::make_move_iterator(drained.begin()),
+                         std::make_move_iterator(drained.end()));
+  }
+}
+
+// Hands the records salvaged from the previous epoch's failed tasks to the
+// subtasks that own them now.  The envelopes' dense channel indices belong
+// to the dead epoch, so they are rewritten to an input channel of the new
+// owner before re-admission.
+void LocalEngine::ReadmitSalvage() {
+  for (auto& [tid, records] : salvage_) {
+    if (records.empty()) continue;
+    LocalTask* target = nullptr;
+    std::uint32_t parallelism = 0;
+    for (auto& task : tasks_) {
+      if (task->id.vertex == tid.vertex) ++parallelism;
+    }
+    if (parallelism == 0) continue;  // vertex gone (cannot happen today)
+    const std::uint32_t want = tid.subtask % parallelism;
+    for (auto& task : tasks_) {
+      if (task->id.vertex == tid.vertex && task->id.subtask == want) {
+        target = task.get();
+        break;
+      }
+    }
+    if (target == nullptr || !target->queue) continue;
+    std::uint32_t in_channel = 0;
+    for (auto& channel : channels_) {
+      if (channel->consumer == target) {
+        in_channel = channel->index;
+        break;
+      }
+    }
+    for (Envelope& env : records) env.channel = in_channel;
+    result_.records_redelivered += records.size();
+    target->queue->PushFront(std::move(records));
+  }
+  salvage_.clear();
+}
+
+bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
+  const std::int64_t deadline = NowNs() + options_.recovery.drain_timeout;
+
   // 1. Park the sources.  A source can FINISH instead of parking (Produce
   // returned false just as the pause was requested), so the wait recounts
-  // the still-live sources on every wakeup.
+  // the still-live sources on every wakeup.  The wait also pumps dead
+  // tasks' queues: a source blocked in PushAll toward a dead task can only
+  // reach its park point once that queue moves.
   pause_requested_.store(true);
   {
     std::unique_lock<std::mutex> lock(control_mutex_);
-    control_cv_.wait(lock, [&] {
+    for (;;) {
       std::uint32_t live = 0;
       for (auto& task : tasks_) {
         if (task->is_source && !task->done.load()) ++live;
       }
-      return parked_sources_.load() >= live;
-    });
+      if (parked_sources_.load() >= live) break;
+      if (NowNs() >= deadline) {
+        lock.unlock();
+        pause_requested_.store(false);
+        control_cv_.notify_all();
+        ESP_LOG_ERROR << "RebuildEpoch: sources failed to park within the drain "
+                         "timeout; aborting";
+        return false;
+      }
+      control_cv_.wait_for(lock, std::chrono::milliseconds(2));
+      lock.unlock();
+      PumpFailedTasks();
+      lock.lock();
+    }
   }
 
-  // 2. Flush parked sources' buffers and wait for the flow to drain.
+  // 2. Flush parked sources' buffers and wait for the flow to drain.  Dead
+  // tasks are exempt (their backlog is pumped to salvage instead); a WEDGED
+  // task never drains, which is exactly what the timeout is for -- the
+  // rebuild aborts and the world resumes unchanged.
   for (auto& task : tasks_) {
     if (!task->is_source) continue;
     for (auto& per_edge : task->outputs) {
@@ -580,7 +781,15 @@ void LocalEngine::Rescale(const std::vector<ScalingAction>& actions) {
   int stable = 0;
   while (stable < 3) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    PumpFailedTasks();
     stable = drained() ? stable + 1 : 0;
+    if (stable < 3 && NowNs() >= deadline) {
+      pause_requested_.store(false);
+      control_cv_.notify_all();
+      ESP_LOG_ERROR << "RebuildEpoch: flow failed to drain within the drain "
+                       "timeout (wedged task?); aborting";
+      return false;
+    }
   }
 
   // 3. Stop and join the non-source task threads, then bank their metric
@@ -595,17 +804,194 @@ void LocalEngine::Rescale(const std::vector<ScalingAction>& actions) {
     if (!task->is_source) HarvestTaskMetrics(task.get());
   }
 
-  // 4. Apply the new parallelism and rebuild the epoch.
+  // 3b. Salvage dead tasks' backlogs (queue remainder + mid-batch remainder)
+  // keyed by old TaskId, mark their failures recovered -- the rebuild IS
+  // the restart for them -- and count the restarts.
+  std::uint32_t recovered = 0;
+  for (auto& task : tasks_) {
+    if (task->is_source || !task->queue) continue;
+    std::vector<Envelope> s = std::move(task->salvage);
+    task->salvage.clear();
+    std::vector<Envelope> rest = task->queue->DrainAll();
+    s.insert(s.end(), std::make_move_iterator(rest.begin()),
+             std::make_move_iterator(rest.end()));
+    if (!s.empty()) salvage_.emplace_back(task->id, std::move(s));
+    if (task->failed.load()) {
+      ++recovered;
+      // The rebuild is this task's restart: clear any armed backoff gate so
+      // a future failure of the slot starts a fresh backoff.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(Value(task->id.vertex)) << 32) |
+          task->id.subtask;
+      restart_state_[key].next_restart_ns = 0;
+      std::lock_guard<std::mutex> lock(failure_mutex_);
+      if (task->last_failure_index < result_.failures.size()) {
+        result_.failures[task->last_failure_index].recovered = true;
+      }
+    }
+  }
+  result_.restarts += recovered;
+
+  // 4. Apply the new parallelism and rebuild the epoch; re-admit salvage
+  // before the new threads start so replayed records precede new arrivals.
   for (const ScalingAction& a : actions) {
     graph_.SetParallelism(a.vertex, a.new_parallelism);
   }
   BuildEpoch();
+  ReadmitSalvage();
   StartThreads();
-  ++result_.rescales;
+  if (!actions.empty()) ++result_.rescales;
+  if (recovered > 0) {
+    std::vector<std::string> vertices;  // every non-source vertex was rebuilt
+    for (JobVertexId v : graph_.VertexIds()) {
+      if (!graph_.vertex(v).inputs.empty()) vertices.push_back(graph_.vertex(v).name);
+    }
+    MarkRecoveryTransient(NowNs(), vertices);
+  }
 
   // 5. Resume the sources.
   pause_requested_.store(false);
   control_cv_.notify_all();
+  return true;
+}
+
+// ------------------------------------------------------------- supervision
+
+SimDuration LocalEngine::NextBackoff(std::uint32_t restart_count) {
+  const FailureRecoveryOptions& r = options_.recovery;
+  double backoff = static_cast<double>(r.backoff_initial);
+  for (std::uint32_t i = 0; i < restart_count && backoff < static_cast<double>(r.backoff_max); ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, static_cast<double>(r.backoff_max));
+  const double jitter = 1.0 + r.backoff_jitter * (2.0 * backoff_rng_.NextDouble() - 1.0);
+  return static_cast<SimDuration>(std::max(0.0, backoff * jitter));
+}
+
+void LocalEngine::MarkRecoveryTransient(std::int64_t now_ns,
+                                        const std::vector<std::string>& vertices) {
+  // Measurement windows overlapping the outage (and the partial window in
+  // progress) would feed the stall + replay burst into the Kingman-model
+  // inputs; drop them, plus the restarted vertices' accumulated history.
+  for (QosManager& m : managers_) {
+    m.MarkStale(now_ns + options_.measurement_interval);
+    for (const std::string& name : vertices) {
+      const JobVertexId v = graph_.VertexByName(name);
+      m.DropVertex(v, graph_.vertex(v).inputs);
+      m.DropVertex(v, graph_.vertex(v).outputs);
+    }
+  }
+  // And hold reactive scaling for one adjustment round: the first
+  // post-recovery summary still reflects the transient.
+  scaler_.SuppressFor(1);
+}
+
+// Restarts one dead subtask in place: same queue/channel wiring, same metric
+// shards and fault binding, fresh user-code instance.  The salvaged
+// mid-batch remainder is re-admitted at the FRONT of the queue so the
+// restarted incarnation replays it before anything newer.
+bool LocalEngine::RestartTask(LocalTask* task) {
+  if (task->thread.joinable()) task->thread.join();
+  if (!task->salvage.empty()) {
+    result_.records_redelivered += task->salvage.size();
+    task->queue->PushFront(std::move(task->salvage));
+    task->salvage.clear();
+  }
+  try {
+    if (task->is_source) {
+      // Restarting a source re-instantiates the SourceFunction from its
+      // factory; records emitted before the crash are NOT re-emitted by the
+      // engine, so a stateful source resumes wherever its factory puts it.
+      task->source = source_factories_.at(task->vertex_name)(task->id.subtask);
+    } else {
+      task->udf = udf_factories_.at(task->vertex_name)(task->id.subtask);
+      task->latency_mode = task->udf->latency_mode();
+    }
+  } catch (const std::exception& e) {
+    ESP_LOG_ERROR << "RestartTask: factory for " << task->vertex_name
+                  << " threw: " << e.what();
+    return false;
+  }
+  task->rw_pending.clear();
+  task->next_timer_ns = 0;
+  task->busy.store(false);
+  {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    if (task->last_failure_index < result_.failures.size()) {
+      result_.failures[task->last_failure_index].recovered = true;
+    }
+  }
+  task->failed.store(false);
+  task->done.store(false);
+  LocalTask* raw = task;
+  task->thread = raw->is_source ? std::thread([this, raw] { SourceLoop(raw); })
+                                : std::thread([this, raw] { TaskLoop(raw); });
+  ESP_LOG_INFO << "restarted task " << task->vertex_name << "[" << task->id.subtask
+               << "]";
+  ++result_.restarts;
+  return true;
+}
+
+// The supervisor: applies the failure policy to every task whose thread has
+// died.  Runs on the control thread whenever failure_pending_ is raised.
+// Returns false when the run must terminate (fail-fast policy or restart
+// budget exhausted).  The clear-then-scan order makes the flag race-free: a
+// task raising it between the scan and a later clear is seen next round,
+// and restarts still waiting out their backoff re-raise it here.
+bool LocalEngine::Supervise() {
+  failure_pending_.store(false);
+  const std::int64_t now = NowNs();
+  std::vector<LocalTask*> ready;
+  bool waiting = false;
+  for (auto& tptr : tasks_) {
+    LocalTask* task = tptr.get();
+    if (!task->failed.load()) continue;
+    if (options_.recovery.policy == FailurePolicy::kFailFast) {
+      terminate_.store(true);
+      return false;
+    }
+    if (!task->done.load()) {  // still dying; revisit once the thread exits
+      waiting = true;
+      continue;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(Value(task->id.vertex)) << 32) | task->id.subtask;
+    RestartState& rs = restart_state_[key];
+    if (rs.count >= options_.recovery.max_restarts_per_task) {
+      ESP_LOG_ERROR << "restart budget exhausted for " << task->vertex_name << "["
+                    << task->id.subtask << "] after " << rs.count
+                    << " restarts; failing fast";
+      terminate_.store(true);
+      return false;
+    }
+    if (rs.next_restart_ns == 0) rs.next_restart_ns = now + NextBackoff(rs.count);
+    if (now < rs.next_restart_ns) {  // exponential backoff still running
+      waiting = true;
+      continue;
+    }
+    rs.next_restart_ns = 0;
+    ++rs.count;
+    ready.push_back(task);
+  }
+
+  if (!ready.empty()) {
+    if (options_.recovery.policy == FailurePolicy::kRestartTask) {
+      std::vector<std::string> vertices;
+      for (LocalTask* task : ready) {
+        if (RestartTask(task)) {
+          vertices.push_back(task->vertex_name);
+        } else {
+          waiting = true;  // factory failed; backoff and retry
+        }
+      }
+      if (!vertices.empty()) MarkRecoveryTransient(NowNs(), vertices);
+    } else {  // kRestartEpoch: one rebuild recovers every dead task at once
+      if (!RebuildEpoch({})) waiting = true;  // drain timed out; retry later
+    }
+  }
+
+  if (waiting) failure_pending_.store(true);
+  return true;
 }
 
 // ------------------------------------------------------------ control loop
@@ -655,6 +1041,9 @@ void LocalEngine::ControlTick() {
 bool LocalEngine::AllTasksFinished() {
   for (auto& task : tasks_) {
     if (!task->done.load()) return false;
+    // A dead task awaiting supervision (restart/backoff) is not finished;
+    // ending the run here would drop its salvaged backlog.
+    if (task->failed.load()) return false;
   }
   return true;
 }
@@ -675,8 +1064,12 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
   std::uint32_t tick = 0;
 
   while (!AllTasksFinished()) {
+    if (terminate_.load()) break;
     if (max_duration > 0 && NowNs() >= max_duration) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Supervision point: a dying task raised failure_pending_; apply the
+    // failure policy (restart / backoff / terminate) before the QoS tick.
+    if (failure_pending_.load() && !Supervise()) break;
     if (NowNs() < next_tick) continue;
     next_tick += measurement_ns;
     ControlTick();
@@ -710,8 +1103,7 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
 
     if (options_.scaler.enabled && !constraints_.empty()) {
       const auto actions = scaler_.Adjust(graph_, constraints_, last_summary_);
-      if (!actions.empty()) {
-        Rescale(actions);
+      if (!actions.empty() && RebuildEpoch(actions)) {
         scaler_.NotifyApplied(actions);
         const RuntimeGraph rg = RuntimeGraph::Expand(graph_);
         for (QosManager& m : managers_) m.Prune(rg);
@@ -719,15 +1111,11 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
     }
   }
 
-  // Shut down: close everything and join.
+  // Shut down: close everything and join, bounded so a stuck UDF surfaces
+  // as a reported failure instead of hanging the caller.
   shutdown_.store(true);
   control_cv_.notify_all();
-  for (auto& task : tasks_) {
-    if (task->queue) task->queue->Close();
-  }
-  for (auto& task : tasks_) {
-    if (task->thread.joinable()) task->thread.join();
-  }
+  TeardownEpoch();
 
   for (auto& task : tasks_) HarvestTaskMetrics(task.get());
   for (JobVertexId v : graph_.VertexIds()) {

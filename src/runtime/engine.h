@@ -34,11 +34,43 @@
 #include "graph/runtime_graph.h"
 #include "graph/sequence.h"
 #include "qos/manager.h"
+#include "runtime/fault.h"
 #include "runtime/queue.h"
 #include "runtime/record.h"
 #include "runtime/udf.h"
 
 namespace esp::runtime {
+
+/// What the supervisor does when a task thread dies on an exception.
+enum class FailurePolicy : std::uint8_t {
+  /// Terminate the run at the next supervision point; the failure is
+  /// reported in EngineResult::failures.
+  kFailFast,
+  /// Restart only the failed subtask in place (new UDF instance, same
+  /// queue/channel wiring); its input backlog is preserved and replayed.
+  kRestartTask,
+  /// Stop the world and rebuild the whole epoch (every non-source task),
+  /// re-admitting the failed tasks' salvaged backlogs into the new epoch.
+  kRestartEpoch,
+};
+
+/// Supervision knobs (LocalEngineOptions::recovery).
+struct FailureRecoveryOptions {
+  FailurePolicy policy = FailurePolicy::kFailFast;
+  /// Restarts allowed per (vertex, subtask) before the supervisor gives up
+  /// and fails the run (budget exhaustion degrades to fail-fast).
+  std::uint32_t max_restarts_per_task = 3;
+  SimDuration backoff_initial = FromMillis(20);  ///< doubles per restart
+  SimDuration backoff_max = FromSeconds(2);
+  double backoff_jitter = 0.2;     ///< +/- fraction applied to the backoff
+  std::uint64_t jitter_seed = 0x5EEDF417ULL;
+  /// How long shutdown waits for task threads to acknowledge before
+  /// declaring them stuck (reported, not hung on).
+  SimDuration teardown_timeout = FromSeconds(10);
+  /// How long an epoch rebuild waits for in-flight records to settle before
+  /// aborting the restart attempt.
+  SimDuration drain_timeout = FromSeconds(10);
+};
 
 struct LocalEngineOptions {
   std::size_t queue_capacity = 1024;     ///< records per task input queue
@@ -51,6 +83,22 @@ struct LocalEngineOptions {
   double latency_sample_probability = 0.25;
   ElasticScalerOptions scaler;  ///< scaler.enabled turns on elasticity
   BatchingPolicyOptions batching;
+  FailureRecoveryOptions recovery;
+  /// Optional fault-injection harness (non-owning; must outlive Run).
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// One task failure observed by the supervisor.
+struct FailureEvent {
+  std::string vertex;
+  std::uint32_t subtask = 0;
+  SimTime time = 0;        ///< engine time (ns since Run started)
+  std::string what;        ///< exception message
+  bool recovered = false;  ///< true once the supervisor restarted the task
+
+  std::string Format() const {
+    return vertex + "[" + std::to_string(subtask) + "]: " + what;
+  }
 };
 
 /// What one engine run produced.
@@ -65,9 +113,20 @@ struct EngineResult {
   /// Parallelism per vertex at the end of the run.
   std::unordered_map<std::string, std::uint32_t> final_parallelism;
   std::uint32_t rescales = 0;  ///< stop-the-world rescaling rounds
-  /// First task failure ("Vertex[subtask]: what"); empty on success.  A
-  /// failed task stops consuming and the job drains around it.
-  std::string failure;
+  /// Every task failure in order of detection; empty on a clean run.
+  std::vector<FailureEvent> failures;
+  std::uint32_t restarts = 0;  ///< task/epoch restarts performed
+  /// Records salvaged from failed tasks' backlogs and replayed.  Delivered
+  /// counts may exceed the no-fault run by at most this bound when a
+  /// failure struck mid-batch.
+  std::uint64_t records_redelivered = 0;
+
+  /// First failure formatted as "Vertex[subtask]: what"; empty on success.
+  std::string first_failure() const {
+    return failures.empty() ? std::string() : failures.front().Format();
+  }
+  /// True when the run saw no failure at all (recovered or not).
+  bool clean() const { return failures.empty(); }
 };
 
 class LocalEngine {
@@ -121,9 +180,31 @@ class LocalEngine {
   void CloseDownstream(LocalTask* task);
   void ControlTick();
   void HarvestTaskMetrics(LocalTask* task);
-  void Rescale(const std::vector<ScalingAction>& actions);
   bool AllTasksFinished();
   SimDuration FlushDeadlineForEdge(std::uint32_t edge) const;
+
+  // ---- failure recovery (control thread only) ----------------------------
+  /// Scans for newly failed tasks and applies the failure policy; returns
+  /// false when the run must terminate (fail-fast or budget exhausted).
+  bool Supervise();
+  /// Restarts one failed subtask in place: salvages its backlog + mid-batch
+  /// remainder, re-instantiates the UDF, re-admits the backlog, restarts the
+  /// thread.  True on success.
+  bool RestartTask(LocalTask* task);
+  /// Stop-the-world epoch rebuild shared by Rescale and restart-epoch.
+  /// `actions` may be empty (pure restart).  True on success; false when the
+  /// drain timed out and the epoch was left as-is.
+  bool RebuildEpoch(const std::vector<ScalingAction>& actions);
+  /// Pumps failed tasks' queues into their salvage buffers so blocked
+  /// producers can make progress during a pause/drain.
+  void PumpFailedTasks();
+  /// Re-admits a task's salvaged records to the subtask that now owns them.
+  void ReadmitSalvage();
+  /// Tells QoS managers + scaler a recovery happened at `now_ns` so the next
+  /// measurement window is discarded and reactive scaling pauses one round.
+  void MarkRecoveryTransient(std::int64_t now_ns,
+                             const std::vector<std::string>& vertices);
+  SimDuration NextBackoff(std::uint32_t restart_count);
 
   JobGraph graph_;
   LocalEngineOptions options_;
@@ -158,10 +239,27 @@ class LocalEngine {
   // counters and LocalTask::latency_shard) that HarvestTaskMetrics folds
   // into result_ at ControlTick, rescale teardown and end of run -- the hot
   // path never touches a global counter or lock.  result_ belongs to the
-  // control thread; task threads only write result_.failure, guarded by
-  // failure_mutex_.
+  // control thread; task threads only append to result_.failures, guarded
+  // by failure_mutex_.
   std::mutex failure_mutex_;
   EngineResult result_;
+
+  // Supervision.  failure_pending_ is raised by a dying task thread after
+  // publishing its FailureEvent; the control thread clears it FIRST, then
+  // scans task failed flags (so a raise between scan and clear is never
+  // lost), and re-raises it itself while restarts are backoff-pending.
+  std::atomic<bool> failure_pending_{false};
+  std::atomic<bool> terminate_{false};  ///< fail-fast / budget exhausted
+  struct RestartState {
+    std::uint32_t count = 0;          ///< restarts consumed
+    std::int64_t next_restart_ns = 0; ///< backoff gate (engine time)
+  };
+  /// Keyed by stable (vertex, subtask) id; survives epoch rebuilds.
+  std::unordered_map<std::uint64_t, RestartState> restart_state_;
+  Rng backoff_rng_{0x5EEDF417ULL};
+  /// Per-vertex salvage kept across an epoch rebuild: records drained from
+  /// failed tasks' queues, keyed by (vertex name, old subtask).
+  std::vector<std::pair<TaskId, std::vector<Envelope>>> salvage_;
 };
 
 }  // namespace esp::runtime

@@ -1,0 +1,124 @@
+#include "runtime/fault.h"
+
+#include <utility>
+
+namespace esp::runtime {
+
+using fault_internal::Fault;
+using fault_internal::FaultKind;
+
+namespace {
+
+bool Matches(const Fault& f, const std::string& vertex, std::uint32_t subtask) {
+  if (!f.vertex.empty() && f.vertex != vertex) return false;
+  if (f.subtask >= 0 && static_cast<std::uint32_t>(f.subtask) != subtask) return false;
+  return true;
+}
+
+std::string Describe(const char* what, const std::string& vertex, std::uint32_t subtask) {
+  return std::string("fault-injected ") + what + " in " + vertex + "[" +
+         std::to_string(subtask) + "]";
+}
+
+}  // namespace
+
+void FaultBinding::TickRecord(const std::string& vertex, std::uint32_t subtask) {
+  for (Fault* f : on_record) {
+    const std::uint64_t n = f->records.fetch_add(1, std::memory_order_relaxed) + 1;
+    switch (f->kind) {
+      case FaultKind::kThrowAtRecord:
+        if (n >= f->at_record && f->TryConsume()) {
+          throw FaultInjectedError(Describe("UDF throw", vertex, subtask) +
+                                   " at record " + std::to_string(n));
+        }
+        break;
+      case FaultKind::kThrowRandom:
+        if (rng.Bernoulli(f->probability) && f->TryConsume()) {
+          throw FaultInjectedError(Describe("random UDF throw", vertex, subtask) +
+                                   " at record " + std::to_string(n));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void FaultBinding::TickCrash(const std::string& vertex, std::uint32_t subtask,
+                             SimTime now_ns) {
+  if (crash == nullptr || now_ns < crash->at_time) return;
+  if (!crash->TryConsume()) return;
+  throw FaultInjectedError(Describe("crash", vertex, subtask) + " at t=" +
+                           std::to_string(now_ns) + "ns");
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+Fault& FaultInjector::Add(FaultKind kind, std::string vertex, std::int32_t subtask) {
+  std::lock_guard lock(mutex_);
+  Fault& f = faults_.emplace_back();
+  f.kind = kind;
+  f.vertex = std::move(vertex);
+  f.subtask = subtask;
+  return f;
+}
+
+void FaultInjector::ThrowAtRecord(std::string vertex, std::int32_t subtask,
+                                  std::uint64_t nth, std::int64_t times) {
+  Fault& f = Add(FaultKind::kThrowAtRecord, std::move(vertex), subtask);
+  f.at_record = nth;
+  f.remaining.store(times, std::memory_order_relaxed);
+}
+
+void FaultInjector::ThrowWithProbability(std::string vertex, std::int32_t subtask,
+                                         double p) {
+  Fault& f = Add(FaultKind::kThrowRandom, std::move(vertex), subtask);
+  f.probability = p;
+  f.remaining.store(-1, std::memory_order_relaxed);
+}
+
+void FaultInjector::CrashAtTime(std::string vertex, std::int32_t subtask, SimTime at) {
+  Fault& f = Add(FaultKind::kCrashAtTime, std::move(vertex), subtask);
+  f.at_time = at;
+}
+
+void FaultInjector::DelayDelivery(std::string vertex, std::int32_t subtask,
+                                  SimDuration delay, std::int64_t batches) {
+  Fault& f = Add(FaultKind::kDelayDeliver, std::move(vertex), subtask);
+  f.duration = delay;
+  f.remaining.store(batches, std::memory_order_relaxed);
+}
+
+void FaultInjector::Wedge(std::string vertex, std::int32_t subtask, SimTime from,
+                          SimDuration duration) {
+  Fault& f = Add(FaultKind::kWedge, std::move(vertex), subtask);
+  f.at_time = from;
+  f.duration = duration;
+}
+
+FaultBinding FaultInjector::Resolve(const std::string& vertex, std::uint32_t subtask) {
+  FaultBinding b;
+  std::lock_guard lock(mutex_);
+  b.rng = rng_.Fork();
+  for (Fault& f : faults_) {
+    if (!Matches(f, vertex, subtask)) continue;
+    switch (f.kind) {
+      case FaultKind::kThrowAtRecord:
+      case FaultKind::kThrowRandom:
+        b.on_record.push_back(&f);
+        break;
+      case FaultKind::kCrashAtTime:
+        b.crash = &f;
+        break;
+      case FaultKind::kDelayDeliver:
+        b.delay = &f;
+        break;
+      case FaultKind::kWedge:
+        b.wedge = &f;
+        break;
+    }
+  }
+  return b;
+}
+
+}  // namespace esp::runtime

@@ -1,0 +1,151 @@
+// Deterministic fault injection for the threaded local runtime.
+//
+// A FaultInjector holds a set of fault specifications configured before
+// Run() and hands each task incarnation a FaultBinding: the resolved subset
+// of faults that apply to that (vertex, subtask).  All trigger state
+// (record counters, remaining-firings budgets) lives in the injector and is
+// shared across task restarts, so "throw at the task's 500th record" means
+// the 500th record ever, not the 500th after the latest restart.
+//
+// Determinism: record-count and time triggers are exact; probability
+// triggers draw from a per-binding Rng forked from the injector seed, so a
+// single-threaded task sees a reproducible decision stream.  Hot-path cost
+// when no injector is configured is a single branch on an empty binding.
+//
+// The injector outlives the engine run (the engine holds a non-owning
+// pointer via LocalEngineOptions::fault_injector).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace esp::runtime {
+
+/// Thrown by injected UDF/crash faults; derives std::runtime_error so the
+/// engine's normal failure handling catches it like any user exception.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace fault_internal {
+
+enum class FaultKind : std::uint8_t {
+  kThrowAtRecord,   ///< throw before the task's Nth processed record
+  kThrowRandom,     ///< throw before each record with probability p
+  kCrashAtTime,     ///< throw from the task loop once engine time passes T
+  kDelayDeliver,    ///< sleep inside DeliverBatch toward the task
+  kWedge,           ///< stop consuming for a duration (drain-detector test)
+};
+
+/// One armed fault.  Stable address (owned by a deque); counters are
+/// atomics because record faults tick from task threads while delivery
+/// faults tick from arbitrary producer threads.
+struct Fault {
+  FaultKind kind{};
+  std::string vertex;         ///< empty = any vertex
+  std::int32_t subtask = -1;  ///< -1 = any subtask
+  std::uint64_t at_record = 0;
+  double probability = 0.0;
+  SimTime at_time = 0;
+  SimDuration duration = 0;
+
+  std::atomic<std::uint64_t> records{0};  ///< per-fault processed-record count
+  std::atomic<std::int64_t> remaining{1};  ///< firings left; <0 = unlimited
+
+  /// Consumes one firing; true iff the fault should trigger now.
+  bool TryConsume() {
+    std::int64_t left = remaining.load(std::memory_order_relaxed);
+    while (left != 0) {
+      if (left < 0) return true;  // unlimited
+      if (remaining.compare_exchange_weak(left, left - 1, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace fault_internal
+
+/// The faults resolved for one task incarnation.  Record/crash/wedge fields
+/// are touched only by the owning task thread (and by the control thread
+/// between incarnations); the delivery-delay fault is read by producer
+/// threads and therefore resolved once per epoch, never reassigned live.
+struct FaultBinding {
+  std::vector<fault_internal::Fault*> on_record;  ///< throw-at-record/random
+  fault_internal::Fault* crash = nullptr;
+  fault_internal::Fault* wedge = nullptr;
+  fault_internal::Fault* delay = nullptr;
+  Rng rng{1};  ///< decision stream for probability faults
+
+  bool has_record_faults() const { return !on_record.empty(); }
+
+  /// Ticks the record counters; throws FaultInjectedError when a fault
+  /// fires.  Called by the task thread before each UDF invocation.
+  void TickRecord(const std::string& vertex, std::uint32_t subtask);
+
+  /// Throws once engine time `now_ns` passed an armed crash trigger.
+  void TickCrash(const std::string& vertex, std::uint32_t subtask, SimTime now_ns);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 1);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // ---- configuration (before Run; not thread-safe) -----------------------
+
+  /// Throws from inside the matching task once it has processed `nth`
+  /// records (1-based, cumulative across restarts).  With `times` > 1 the
+  /// fault re-fires on each later record until the budget is spent, which
+  /// models a deterministically poisoned record that fails every retry.
+  void ThrowAtRecord(std::string vertex, std::int32_t subtask, std::uint64_t nth,
+                     std::int64_t times = 1);
+
+  /// Throws before each processed record with probability `p` (seeded).
+  void ThrowWithProbability(std::string vertex, std::int32_t subtask, double p);
+
+  /// Throws from the task loop (between batches) once engine time >= `at`.
+  void CrashAtTime(std::string vertex, std::int32_t subtask, SimTime at);
+
+  /// Sleeps `delay` inside DeliverBatch for the first `batches` batches
+  /// destined to the matching task (models a slow link / GC pause).
+  void DelayDelivery(std::string vertex, std::int32_t subtask, SimDuration delay,
+                     std::int64_t batches = 1);
+
+  /// The matching task stops consuming during [from, from + duration); a
+  /// zero duration wedges it until engine shutdown.  Exercises the rescale
+  /// drain detector and the bounded-teardown path.
+  void Wedge(std::string vertex, std::int32_t subtask, SimTime from,
+             SimDuration duration = 0);
+
+  std::uint64_t seed() const { return seed_; }
+
+  // ---- engine-facing -----------------------------------------------------
+
+  /// Resolves the faults applying to one task incarnation.  Called by the
+  /// engine's control thread at epoch build and task restart.
+  FaultBinding Resolve(const std::string& vertex, std::uint32_t subtask);
+
+ private:
+  fault_internal::Fault& Add(fault_internal::FaultKind kind, std::string vertex,
+                             std::int32_t subtask);
+
+  const std::uint64_t seed_;
+  Rng rng_;
+  std::mutex mutex_;  // guards faults_ growth vs. Resolve
+  std::deque<fault_internal::Fault> faults_;  // stable addresses
+};
+
+}  // namespace esp::runtime

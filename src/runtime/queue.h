@@ -135,6 +135,44 @@ class BoundedQueue {
     return n;
   }
 
+  /// Re-admits items at the FRONT of the queue, ignoring capacity and the
+  /// closed flag.  Recovery-only: the supervisor uses it to return records
+  /// salvaged from a failed task so the restarted incarnation sees them
+  /// before anything newer.  Never called concurrently with itself.
+  void PushFront(std::vector<T>&& items) {
+    if (items.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Normalise the partially consumed front chunk so chunk boundaries stay
+    // aligned with front_pos_ == 0.
+    if (front_pos_ > 0) {
+      std::vector<T>& front = chunks_.front();
+      front.erase(front.begin(), front.begin() + static_cast<std::ptrdiff_t>(front_pos_));
+      front_pos_ = 0;
+    }
+    size_ += items.size();
+    chunks_.push_front(std::move(items));
+    if (waiting_consumers_ > 0) not_empty_.notify_all();
+  }
+
+  /// Removes and returns everything currently queued without waiting.
+  /// Recovery-only: lets the supervisor salvage a failed task's backlog
+  /// before tearing its queue down.
+  std::vector<T> DrainAll() {
+    std::vector<T> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (!chunks_.empty()) {
+      std::vector<T>& front = chunks_.front();
+      for (std::size_t i = front_pos_; i < front.size(); ++i) {
+        out.push_back(std::move(front[i]));
+      }
+      chunks_.pop_front();
+      front_pos_ = 0;
+    }
+    size_ = 0;
+    if (waiting_producers_ > 0) not_full_.notify_all();
+    return out;
+  }
+
   /// Marks the queue closed; producers unblock, consumers drain what's left.
   void Close() {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -300,6 +300,82 @@ void ClusterSimulation::StopTask(std::uint32_t ti) {
   }
 }
 
+void ClusterSimulation::CrashTask(std::uint32_t ti, bool restart) {
+  Task& task = tasks_[ti];
+  const TaskId id = task.id;
+  const JobVertex& jv = graph_.vertex(id.vertex);
+  ++result_.task_crashes;
+
+  // Everything the process held dies with it: queued input and emissions
+  // resolved but not yet handed to an output buffer.
+  std::uint64_t lost = task.input.size();
+  lost += task.emits.size() - task.emit_pos;
+  task.input.clear();
+  task.emits.clear();
+  task.emit_pos = 0;
+  task.parked_channels.clear();
+  task.inbound_inflight = 0;
+
+  // Connections INTO the crashed task drop: producer-side buffers destined
+  // for it, batches on the wire and batches parked waiting for queue space.
+  for (std::uint32_t ci : task.in_channels) {
+    Channel& ch = channels_[ci];
+    lost += ch.buffer.size();
+    for (const Batch& b : ch.in_transit) lost += b.items.size();
+    for (const Batch& b : ch.ready) lost += b.items.size();
+    ch.buffer.clear();
+    ch.buffer_bytes = 0;
+    ch.in_transit.clear();
+    ch.ready.clear();
+    ch.inflight = 0;
+    ch.flush_wanted = false;
+    ch.deadline_armed = false;
+    ++ch.deadline_generation;
+    ++ch.transit_generation;  // already-scheduled arrivals are void
+    ch.parked_registered = false;
+    if (ch.producer_blocked) {
+      ch.producer_blocked = false;
+      ResumeEmissions(ch.producer);
+    }
+  }
+  // The crash also takes its own un-flushed output buffers; batches already
+  // on the wire towards live consumers are delivered normally.
+  for (std::uint32_t ci : task.out_channels) {
+    Channel& ch = channels_[ci];
+    lost += ch.buffer.size();
+    ch.buffer.clear();
+    ch.buffer_bytes = 0;
+    ch.flush_wanted = false;
+    ch.deadline_armed = false;
+    ++ch.deadline_generation;
+    ch.producer_blocked = false;  // the blocked producer was the dead task
+  }
+  result_.items_lost += lost;
+
+  StopTask(ti);
+  RebuildAllRouting();  // producers route around the hole immediately
+  ESP_LOG_WARN << "task " << jv.name << "[" << id.subtask << "] crashed at t="
+               << ToSeconds(events_.Now()) << "s (" << lost << " in-flight items lost"
+               << (restart ? ", restarting)" : ", not restarted)");
+
+  if (restart) {
+    // Respawn through the normal scheduling path: the replacement spins up
+    // for task_start_delay (the paper's 1-2 s), then rejoins the routing.
+    CreateTask(id.vertex, id.subtask, /*initial=*/false);
+    ++result_.task_restarts;
+  }
+
+  // Measurements spanning the outage describe a broken topology; discard
+  // them and keep the scaler from reacting to the recovery transient.
+  std::vector<JobEdgeId> adjacent = jv.inputs;
+  adjacent.insert(adjacent.end(), jv.outputs.begin(), jv.outputs.end());
+  for (QosManager& m : managers_) {
+    m.MarkStale(events_.Now() + config_.measurement_interval);
+    m.DropVertex(id.vertex, adjacent);
+  }
+  scaler_.SuppressFor(1);
+}
+
 void ClusterSimulation::ApplyScaling(const std::vector<ScalingAction>& actions) {
   for (const ScalingAction& a : actions) {
     graph_.SetParallelism(a.vertex, a.new_parallelism);
@@ -571,7 +647,7 @@ void ClusterSimulation::Flush(std::uint32_t ci) {
   ++ch.inflight;
   ++tasks_[ch.consumer].inbound_inflight;
   tasks_[ch.producer].deferred_cpu += config_.network.flush_cpu;
-  events_.Schedule(arrival, EventType::kBatchArrival, ci);
+  events_.Schedule(arrival, EventType::kBatchArrival, ci, 0, ch.transit_generation);
 
   if (ch.producer_blocked) {
     ch.producer_blocked = false;
@@ -820,6 +896,7 @@ void ClusterSimulation::OnFlushDeadline(const Event& e) {
 
 void ClusterSimulation::OnBatchArrival(const Event& e) {
   Channel& ch = channels_[e.a];
+  if (e.generation != ch.transit_generation) return;  // wiped by a crash
   if (ch.in_transit.empty()) return;  // defensive
   ch.ready.push_back(std::move(ch.in_transit.front()));
   ch.in_transit.pop_front();
@@ -868,6 +945,19 @@ void ClusterSimulation::OnTaskStarted(const Event& e) {
   task.state = TaskState::kRunning;
   ActivateTask(e.a);
   RebuildAllRouting();
+}
+
+void ClusterSimulation::OnTaskFault(const Event& e) {
+  const FaultSpec& fault = config_.faults[e.a];
+  const TaskId id{graph_.VertexByName(fault.vertex), fault.subtask};
+  const auto it = task_index_.find(id);
+  if (it == task_index_.end() || (tasks_[it->second].state != TaskState::kRunning &&
+                                  tasks_[it->second].state != TaskState::kDraining)) {
+    ESP_LOG_WARN << "fault at t=" << ToSeconds(events_.Now()) << "s: task " << fault.vertex
+                 << "[" << fault.subtask << "] is not live; fault skipped";
+    return;
+  }
+  CrashTask(it->second, fault.restart);
 }
 
 void ClusterSimulation::OnMeasurementTick() {
@@ -1042,6 +1132,13 @@ RunResult ClusterSimulation::Run(SimDuration duration) {
   events_.Schedule(config_.adjustment_interval + FromMillis(1), EventType::kAdjustmentTick);
   events_.Schedule(config_.metrics_window, EventType::kMetricsTick);
 
+  for (std::size_t i = 0; i < config_.faults.size(); ++i) {
+    const FaultSpec& f = config_.faults[i];
+    graph_.VertexByName(f.vertex);  // validates the name before the run starts
+    if (f.at <= 0) throw std::invalid_argument("FaultSpec: fault time must be positive");
+    events_.Schedule(f.at, EventType::kTaskFault, static_cast<std::uint32_t>(i));
+  }
+
   while (!events_.Empty() && events_.PeekTime() <= duration) {
     const Event e = events_.Pop();
     switch (e.type) {
@@ -1054,6 +1151,7 @@ RunResult ClusterSimulation::Run(SimDuration duration) {
       case EventType::kMeasurementTick: OnMeasurementTick(); break;
       case EventType::kAdjustmentTick: OnAdjustmentTick(); break;
       case EventType::kMetricsTick: OnMetricsTick(); break;
+      case EventType::kTaskFault: OnTaskFault(e); break;
     }
   }
 

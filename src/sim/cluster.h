@@ -134,6 +134,9 @@ class ClusterSimulation {
     std::deque<Batch> ready;  // arrived, waiting for queue space
     SimTime last_arrival = 0;
     std::uint32_t deadline_generation = 0;
+    /// Bumped when a crash clears in_transit, so already-scheduled
+    /// kBatchArrival events cannot deliver batches flushed afterwards.
+    std::uint32_t transit_generation = 0;
     bool deadline_armed = false;
     bool flush_wanted = false;
     bool producer_blocked = false;
@@ -165,6 +168,7 @@ class ClusterSimulation {
   void OnMeasurementTick();
   void OnAdjustmentTick();
   void OnMetricsTick();
+  void OnTaskFault(const Event& e);
 
   // ----- task lifecycle ----------------------------------------------------
   std::uint32_t CreateTask(JobVertexId vertex, std::uint32_t subtask, bool initial);
@@ -172,6 +176,10 @@ class ClusterSimulation {
   void BeginDrain(std::uint32_t ti);
   void MaybeStop(std::uint32_t ti);
   void StopTask(std::uint32_t ti);
+  /// Kills a live task NOW: loses its in-flight data (counted), reroutes
+  /// producers around the hole and, when `restart` is set, respawns the
+  /// subtask after the scheduler's task_start_delay.
+  void CrashTask(std::uint32_t ti, bool restart);
   std::uint32_t PlaceOnWorker();
   void ApplyScaling(const std::vector<ScalingAction>& actions);
 

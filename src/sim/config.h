@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/time.h"
 #include "core/batching.h"
@@ -46,6 +48,20 @@ enum class PlacementStrategy {
   kCompact,
 };
 
+/// One scripted task crash (deterministic fault injection).  At time `at`
+/// the named subtask dies: its input queue, unfinished emissions, unsent
+/// output buffers and every batch in flight towards it are lost (counted in
+/// RunResult::items_lost).  With `restart` the scheduler respawns the task
+/// after the usual task_start_delay; producers route around the hole in the
+/// meantime (round-robin skips dead consumers, unroutable emissions are
+/// dropped).
+struct FaultSpec {
+  std::string vertex;
+  std::uint32_t subtask = 0;
+  SimTime at = 0;
+  bool restart = true;
+};
+
 /// Full simulator configuration.
 struct SimConfig {
   NetworkConfig network;
@@ -80,6 +96,9 @@ struct SimConfig {
 
   ElasticScalerOptions scaler;  ///< scaler.enabled toggles elasticity
   BatchingPolicyOptions batching;
+
+  /// Scripted task crashes, applied at their `at` times during Run.
+  std::vector<FaultSpec> faults;
 
   std::uint64_t seed = 1;
 };

@@ -21,6 +21,7 @@ enum class EventType : std::uint8_t {
   kMeasurementTick,  ///< QoS reporters harvest
   kAdjustmentTick,   ///< global summary + elastic scaler round
   kMetricsTick,      ///< evaluation window rollover
+  kTaskFault,        ///< a = index into SimConfig::faults: crash a task
 };
 
 struct Event {

@@ -84,6 +84,12 @@ struct RunResult {
   std::uint64_t total_items_emitted = 0;   ///< across all sources
   std::uint64_t total_items_delivered = 0; ///< consumed at sink tasks
 
+  std::uint64_t task_crashes = 0;   ///< injected faults that hit a live task
+  std::uint64_t task_restarts = 0;  ///< crashed tasks respawned by the scheduler
+  /// Items destroyed by crashes: queued input, unfinished emissions, unsent
+  /// output buffers and batches in flight towards the dead task.
+  std::uint64_t items_lost = 0;
+
   /// Fraction of adjustment intervals (with probe data) whose measured mean
   /// latency was within `bounds[k]`; one entry per constraint.
   std::vector<double> FulfillmentFraction(const std::vector<double>& bounds_seconds) const;

@@ -460,6 +460,35 @@ TEST(ElasticScaler, ScaleUpResetsShrinkStreak) {
   EXPECT_FALSE(scaler.Adjust(idle.graph, loose, idle.summary).empty());
 }
 
+TEST(ElasticScaler, SuppressForPausesAdjustmentRounds) {
+  // Bottlenecked pipeline that would normally scale up immediately.
+  Pipeline pipe({{95.0, 0.010, 1.0, 1.0, 4, 1, 64}});
+  ElasticScaler scaler;
+  const auto constraints = std::vector<LatencyConstraint>{pipe.Constraint(FromMillis(50))};
+
+  scaler.SuppressFor(1);
+  EXPECT_TRUE(scaler.IsInactive());
+  EXPECT_TRUE(scaler.Adjust(pipe.graph, constraints, pipe.summary).empty());
+  // The window is spent; the round after must act again.
+  EXPECT_FALSE(scaler.IsInactive());
+  EXPECT_FALSE(scaler.Adjust(pipe.graph, constraints, pipe.summary).empty());
+}
+
+TEST(ElasticScaler, SuppressForNeverShortensAnArmedWindow) {
+  Pipeline pipe({{95.0, 0.010, 1.0, 1.0, 4, 1, 64}});
+  ElasticScaler scaler;
+  const auto constraints = std::vector<LatencyConstraint>{pipe.Constraint(FromMillis(50))};
+  auto actions = scaler.Adjust(pipe.graph, constraints, pipe.summary);
+  ASSERT_FALSE(actions.empty());
+  pipe.graph.SetParallelism(actions[0].vertex, actions[0].new_parallelism);
+  scaler.NotifyApplied(actions);  // arms the default 2-interval window
+
+  scaler.SuppressFor(1);  // shorter than what is armed: must be a no-op
+  EXPECT_TRUE(scaler.Adjust(pipe.graph, constraints, pipe.summary).empty());
+  EXPECT_TRUE(scaler.Adjust(pipe.graph, constraints, pipe.summary).empty());
+  EXPECT_FALSE(scaler.IsInactive());
+}
+
 TEST(ElasticScaler, DisabledScalerDoesNothing) {
   Pipeline pipe({{95.0, 0.010}});
   ElasticScalerOptions opts;

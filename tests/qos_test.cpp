@@ -153,6 +153,27 @@ TEST(QosManager, EmptyIntervalsAreSkipped) {
   EXPECT_NEAR(partial.vertices.at(1).first.service_mean, 0.002, 1e-12);
 }
 
+TEST(QosManager, MarkStaleDropsRecoveryWindowReports) {
+  QosManager manager(5);
+  const TaskId t0{JobVertexId{1}, 0};
+  manager.Ingest(MakeTaskReport(FromSeconds(0), t0, 0.002, 0.01, 0.0));
+  EXPECT_EQ(manager.tracked_tasks(), 1u);
+
+  // Recovery at t=5s: everything stamped earlier is from the outage window.
+  manager.MarkStale(FromSeconds(5));
+  // A shorter mark must not shrink the window (max semantics).
+  manager.MarkStale(FromSeconds(2));
+  manager.Ingest(MakeTaskReport(FromSeconds(1), TaskId{JobVertexId{2}, 0}, 0.009,
+                                0.01, 0.0));
+  EXPECT_EQ(manager.tracked_tasks(), 1u);  // stale report dropped whole
+
+  // Reports at/after the stale horizon flow again.
+  manager.Ingest(MakeTaskReport(FromSeconds(6), t0, 0.004, 0.01, 0.0));
+  const PartialSummary partial = manager.MakePartialSummary(FromSeconds(6));
+  EXPECT_EQ(partial.vertices.count(2), 0u);
+  EXPECT_NEAR(partial.vertices.at(1).first.service_mean, 0.003, 1e-12);
+}
+
 TEST(QosManager, PruneDropsScaledDownTasks) {
   JobGraph g = ThreeStageGraph();
   QosManager manager(5);

@@ -144,6 +144,39 @@ TEST(BoundedQueue, BatchPushWakesAllWaitingConsumers) {
   EXPECT_EQ(got.load(), 2);
 }
 
+TEST(BoundedQueue, PushFrontReordersAheadOfQueuedItems) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{3, 4}));
+  EXPECT_EQ(q.PopFor(nanoseconds(1000)).value(), 3);  // leave a consumed prefix
+  q.PushFront(std::vector<int>{1, 2});
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatchFor(8, nanoseconds(1000), out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 4}));
+}
+
+TEST(BoundedQueue, PushFrontIgnoresCapacityAndClose) {
+  // Recovery path: salvaged records must be re-admitted even when the queue
+  // is full or was closed by upstream while the task was dead.
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{5, 6}));
+  q.Close();
+  q.PushFront(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatchFor(8, nanoseconds(1000), out), 5u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 5, 6}));
+}
+
+TEST(BoundedQueue, DrainAllTakesEverythingWithoutWaiting) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{1, 2, 3}));
+  ASSERT_TRUE(q.PushAll(std::vector<int>{4}));
+  EXPECT_EQ(q.PopFor(nanoseconds(1000)).value(), 1);
+  EXPECT_EQ(q.DrainAll(), (std::vector<int>{2, 3, 4}));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_TRUE(q.DrainAll().empty());
+}
+
 TEST(BoundedQueue, DrainDetectorSeesNoInFlightItems) {
   // Stress for the invariant stop-the-world rescaling relies on: mark_busy
   // is set under the queue lock iff items were returned, so an observer who
@@ -482,7 +515,7 @@ TEST(LocalEngine, RescaleUnderBackpressureLosesNothing) {
   engine.AddConstraint(constraint);
   const EngineResult result = engine.Run(FromSeconds(60));
 
-  EXPECT_TRUE(result.failure.empty()) << result.failure;
+  EXPECT_TRUE(result.clean()) << result.first_failure();
   EXPECT_EQ(result.records_delivered, 1500u);
   long long sum = 0;
   for (int v : state.values) sum += v;
@@ -527,13 +560,14 @@ TEST(LocalEngine, RunTwiceThrows) {
   engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(1); });
   engine.SetUdf("Snk",
                 [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
-  EXPECT_TRUE(engine.Run(FromSeconds(5)).failure.empty());
+  EXPECT_TRUE(engine.Run(FromSeconds(5)).clean());
   EXPECT_THROW(engine.Run(FromSeconds(1)), std::logic_error);
 }
 
 TEST(LocalEngine, UdfExceptionIsReportedNotFatal) {
   // A sink that emits has no output edge: the engine must surface the
-  // error instead of crashing the process.
+  // error instead of crashing the process.  Under the default fail-fast
+  // policy the run terminates promptly with the failure recorded.
   LocalEngineOptions opts;
   LocalEngine engine(LinearGraph(1, 1), opts);
   engine.SetSource("Src", [](std::uint32_t) {
@@ -542,8 +576,275 @@ TEST(LocalEngine, UdfExceptionIsReportedNotFatal) {
   engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(1); });
   engine.SetUdf("Snk", [](std::uint32_t) { return std::make_unique<ScaleUdf>(1); });
   const EngineResult result = engine.Run(FromSeconds(5));
-  EXPECT_FALSE(result.failure.empty());
-  EXPECT_NE(result.failure.find("Snk"), std::string::npos);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.failures.front().vertex, "Snk");
+  EXPECT_FALSE(result.failures.front().recovered);
+  EXPECT_NE(result.first_failure().find("Snk"), std::string::npos);
+  EXPECT_EQ(result.restarts, 0u);
+}
+
+// --------------------------------------------------------- fault injection
+
+// Builds a Src -> Mid(x3) -> Snk job over `total` full-blast records with
+// the given recovery policy and injector, collecting into `state`.
+EngineResult RunFaultJob(int total, FailurePolicy policy, FaultInjector* injector,
+                         SinkState* state, LocalEngineOptions opts = {}) {
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.recovery.policy = policy;
+  opts.recovery.backoff_initial = FromMillis(5);
+  opts.recovery.backoff_max = FromMillis(50);
+  opts.fault_injector = injector;
+  LocalEngine engine(LinearGraph(1, 1), opts);
+  engine.SetSource("Src", [total](std::uint32_t) {
+    return std::make_unique<CountingSource>(total, milliseconds(0));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(3); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(state, s); });
+  return engine.Run(FromSeconds(60));
+}
+
+long long SumOfValues(SinkState& state) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  long long sum = 0;
+  for (int v : state.values) sum += v;
+  return sum;
+}
+
+TEST(LocalEngineFaults, RestartTaskRecoversAndDeliversExactly) {
+  // Injected throws fire BEFORE the UDF touches the record, so the failing
+  // record is salvaged unprocessed and replay is exactly-once: the job must
+  // deliver every record exactly once despite the mid-stream crash.
+  constexpr int kTotal = 2000;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Mid", 0, /*nth=*/500);
+  const EngineResult result =
+      RunFaultJob(kTotal, FailurePolicy::kRestartTask, &injector, &state);
+
+  EXPECT_GE(result.restarts, 1u);
+  EXPECT_GE(result.records_redelivered, 1u);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.failures.front().vertex, "Mid");
+  EXPECT_TRUE(result.failures.front().recovered) << result.first_failure();
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineFaults, SinkRestartDoesNotDoubleCountDelivered) {
+  // The failure strikes mid-batch in the SINK: metrics for the completed
+  // prefix are banked once, the remainder is salvaged, and the replayed
+  // records are counted on their second (successful) pass only.
+  constexpr int kTotal = 1000;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Snk", 0, /*nth=*/300);
+  const EngineResult result =
+      RunFaultJob(kTotal, FailurePolicy::kRestartTask, &injector, &state);
+
+  EXPECT_GE(result.restarts, 1u);
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineFaults, RestartEpochRecovers) {
+  constexpr int kTotal = 1500;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Mid", 0, /*nth=*/400);
+  const EngineResult result =
+      RunFaultJob(kTotal, FailurePolicy::kRestartEpoch, &injector, &state);
+
+  EXPECT_GE(result.restarts, 1u);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_TRUE(result.failures.front().recovered);
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineFaults, FailFastTerminatesTheRun) {
+  // Under fail-fast the supervisor terminates the run at the first failure
+  // instead of letting the job stall around the dead task.
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Mid", 0, /*nth=*/100);
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.recovery.policy = FailurePolicy::kFailFast;
+  opts.fault_injector = &injector;
+  LocalEngine engine(LinearGraph(1, 1), opts);
+  engine.SetSource("Src", [](std::uint32_t) {
+    // Slow source: without fail-fast the run would idle out the full
+    // max_duration; termination well short of 5000 records proves the cut.
+    return std::make_unique<CountingSource>(5000, milliseconds(1));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(3); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  const EngineResult result = engine.Run(FromSeconds(60));
+
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.failures.front().vertex, "Mid");
+  EXPECT_FALSE(result.failures.front().recovered);
+  EXPECT_EQ(result.restarts, 0u);
+  EXPECT_LT(result.records_delivered, 5000u);
+}
+
+TEST(LocalEngineFaults, BudgetExhaustionFallsBackToFailFast) {
+  // A deterministically poisoned record fails every replay: the supervisor
+  // restarts up to the budget, then gives up and terminates the run.
+  constexpr std::uint32_t kBudget = 3;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Mid", 0, /*nth=*/50, /*times=*/1000);
+  LocalEngineOptions opts;
+  opts.recovery.max_restarts_per_task = kBudget;
+  const EngineResult result =
+      RunFaultJob(500, FailurePolicy::kRestartTask, &injector, &state, opts);
+
+  EXPECT_EQ(result.restarts, kBudget);
+  ASSERT_EQ(result.failures.size(), static_cast<std::size_t>(kBudget) + 1);
+  for (std::size_t i = 0; i < kBudget; ++i) {
+    EXPECT_TRUE(result.failures[i].recovered) << "failure " << i;
+  }
+  EXPECT_FALSE(result.failures.back().recovered);
+  EXPECT_LT(result.records_delivered, 500u);
+}
+
+TEST(LocalEngineFaults, CrashDuringInFlightRescaleLosesNothing) {
+  // The hardest interleaving: a backpressured elastic job rescaling
+  // mid-stream while a Mid subtask dies.  Recovery and rescaling share the
+  // pause/drain/rebuild machinery; every record must still arrive exactly
+  // once.
+  constexpr int kTotal = 1500;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Mid", /*subtask=*/-1, /*nth=*/400);
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.queue_capacity = 4;
+  opts.measurement_interval = FromMillis(200);
+  opts.adjustment_interval = FromMillis(800);
+  opts.scaler.enabled = true;
+  opts.recovery.policy = FailurePolicy::kRestartTask;
+  opts.recovery.backoff_initial = FromMillis(5);
+  opts.fault_injector = &injector;
+  JobGraph g = LinearGraph(1, 4, WiringPattern::kRoundRobin, /*elastic=*/true);
+  const LatencyConstraint constraint{
+      JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}}), FromMillis(30),
+      FromSeconds(10), "c"};
+  LocalEngine engine(std::move(g), opts);
+  engine.SetSource("Src", [total = kTotal](std::uint32_t) {
+    return std::make_unique<CountingSource>(total, milliseconds(0));
+  });
+  engine.SetUdf("Mid",
+                [](std::uint32_t) { return std::make_unique<ScaleUdf>(5, milliseconds(1)); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  engine.AddConstraint(constraint);
+  const EngineResult result = engine.Run(FromSeconds(60));
+
+  EXPECT_GE(result.rescales, 1u);
+  EXPECT_GE(result.restarts, 1u);
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 5LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineFaults, RandomThrowsAllRecoverUnderBudget) {
+  // Seeded probabilistic injection: the exact failure count is a
+  // deterministic function of the seed, and every failure must recover.
+  constexpr int kTotal = 2000;
+  SinkState state;
+  FaultInjector injector(42);
+  injector.ThrowWithProbability("Mid", 0, 0.002);
+  LocalEngineOptions opts;
+  opts.recovery.max_restarts_per_task = 50;
+  const EngineResult result =
+      RunFaultJob(kTotal, FailurePolicy::kRestartTask, &injector, &state, opts);
+
+  for (const FailureEvent& ev : result.failures) {
+    EXPECT_TRUE(ev.recovered) << ev.Format();
+  }
+  EXPECT_EQ(result.restarts, result.failures.size());
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineFaults, DelayedDeliveryOnlySlowsTheFlow) {
+  constexpr int kTotal = 500;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.DelayDelivery("Snk", 0, FromMillis(20), /*batches=*/3);
+  const EngineResult result =
+      RunFaultJob(kTotal, FailurePolicy::kRestartTask, &injector, &state);
+
+  EXPECT_TRUE(result.clean()) << result.first_failure();
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+}
+
+TEST(LocalEngineFaults, WedgedConsumerDoesNotHangShutdown) {
+  // Mid[0] stops consuming from t=0; the queue fills, the source blocks,
+  // and the run can only end via max_duration.  The bounded teardown must
+  // bring the engine down cleanly (the injected wedge releases on
+  // shutdown), with the undelivered remainder simply missing.
+  SinkState state;
+  FaultInjector injector(7);
+  injector.Wedge("Mid", 0, /*from=*/0, /*duration=*/0);
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.queue_capacity = 16;
+  opts.fault_injector = &injector;
+  LocalEngine engine(LinearGraph(1, 1), opts);
+  engine.SetSource("Src", [](std::uint32_t) {
+    return std::make_unique<CountingSource>(100000, milliseconds(0));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(3); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  const auto t0 = std::chrono::steady_clock::now();
+  const EngineResult result = engine.Run(FromMillis(400));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 20);
+  EXPECT_LT(result.records_delivered, 100000u);
+}
+
+TEST(LocalEngineFaults, StuckUdfSurfacesAsTeardownFailure) {
+  // A UDF stuck in user code (NOT the cooperative wedge) cannot be joined;
+  // the bounded teardown must report it as a failure instead of hanging Run.
+  // The stuck loop spins on `release` so the abandoned thread returns and
+  // the engine destructor (which joins it) completes.
+  std::atomic<bool> release{false};
+  class StuckUdf final : public Udf {
+   public:
+    explicit StuckUdf(std::atomic<bool>* r) : release_(r) {}
+    void OnRecord(const Record&, Collector&) override {
+      while (!release_->load()) std::this_thread::sleep_for(milliseconds(5));
+    }
+
+   private:
+    std::atomic<bool>* release_;
+  };
+
+  {
+    LocalEngineOptions opts;
+    opts.shipping = ShippingStrategy::kInstantFlush;
+    opts.recovery.teardown_timeout = FromMillis(200);
+    LocalEngine engine(LinearGraph(1, 1), opts);
+    engine.SetSource("Src", [](std::uint32_t) {
+      return std::make_unique<CountingSource>(50, milliseconds(0));
+    });
+    engine.SetUdf("Mid", [&](std::uint32_t) { return std::make_unique<StuckUdf>(&release); });
+    engine.SetUdf("Snk", [](std::uint32_t) { return std::make_unique<ScaleUdf>(1); });
+    const EngineResult result = engine.Run(FromMillis(300));
+
+    ASSERT_FALSE(result.failures.empty());
+    EXPECT_EQ(result.failures.back().vertex, "Mid");
+    EXPECT_NE(result.failures.back().what.find("teardown"), std::string::npos);
+
+    // Unstick the abandoned thread; the engine destructor joins it.
+    release.store(true);
+  }
 }
 
 }  // namespace

@@ -429,6 +429,89 @@ TEST(ClusterSimulation, ElasticScalerScalesDownAfterLoadDrop) {
   EXPECT_LT(r.windows.back().constraints[0].mean_latency, 0.050);
 }
 
+TEST(ClusterSimulation, InjectedCrashRestartsTaskAndKeepsDelivering) {
+  PipelineBuilder b(2, 4, 4, false);
+  SimConfig cfg = BaseConfig(ShippingStrategy::kInstantFlush, false);
+  cfg.faults.push_back({.vertex = "Worker", .subtask = 1, .at = FromSeconds(10)});
+  const auto constraint = b.Constraint(FromMillis(50));
+  auto sim = b.Build(cfg, 200.0, 0.001);
+  sim->AddConstraint(constraint);
+  const RunResult r = sim->Run(FromSeconds(30));
+
+  EXPECT_EQ(r.task_crashes, 1u);
+  EXPECT_EQ(r.task_restarts, 1u);
+  // The crash loses only what was in flight around Worker[1]; the other
+  // subtasks keep the pipeline going and the replacement rejoins after the
+  // start delay, so the vast majority of items still arrive.
+  EXPECT_GT(r.total_items_delivered, r.total_items_emitted * 90 / 100);
+  EXPECT_LT(r.items_lost, r.total_items_emitted / 10);
+  // The replacement is back: full task census in the last window.
+  EXPECT_EQ(r.windows.back().running_tasks, 8u);
+}
+
+TEST(ClusterSimulation, CrashWithoutRestartShrinksTheVertex) {
+  PipelineBuilder b(2, 4, 4, false);
+  SimConfig cfg = BaseConfig(ShippingStrategy::kInstantFlush, false);
+  cfg.faults.push_back(
+      {.vertex = "Worker", .subtask = 2, .at = FromSeconds(5), .restart = false});
+  auto sim = b.Build(cfg, 200.0, 0.001);
+  const RunResult r = sim->Run(FromSeconds(20));
+
+  EXPECT_EQ(r.task_crashes, 1u);
+  EXPECT_EQ(r.task_restarts, 0u);
+  EXPECT_EQ(r.windows.back().running_tasks, 7u);  // hole never refilled
+  // Remaining subtasks absorb the load (3 x 1000/s capacity vs 400/s).
+  EXPECT_GT(r.total_items_delivered, r.total_items_emitted * 90 / 100);
+}
+
+TEST(ClusterSimulation, FaultOnUnknownTaskIsSkippedAndBadSpecThrows) {
+  {
+    PipelineBuilder b(2, 4, 4, false);
+    SimConfig cfg = BaseConfig(ShippingStrategy::kInstantFlush, false);
+    cfg.faults.push_back({.vertex = "Worker", .subtask = 99, .at = FromSeconds(1)});
+    auto sim = b.Build(cfg, 100.0, 0.001);
+    const RunResult r = sim->Run(FromSeconds(5));
+    EXPECT_EQ(r.task_crashes, 0u);  // no such subtask: logged and skipped
+    EXPECT_EQ(r.items_lost, 0u);
+  }
+  {
+    PipelineBuilder b(2, 4, 4, false);
+    SimConfig cfg = BaseConfig(ShippingStrategy::kInstantFlush, false);
+    cfg.faults.push_back({.vertex = "NoSuchVertex", .at = FromSeconds(1)});
+    auto sim = b.Build(cfg, 100.0, 0.001);
+    EXPECT_THROW(sim->Run(FromSeconds(5)), std::out_of_range);
+  }
+  {
+    PipelineBuilder b(2, 4, 4, false);
+    SimConfig cfg = BaseConfig(ShippingStrategy::kInstantFlush, false);
+    cfg.faults.push_back({.vertex = "Worker", .at = 0});  // fault time missing
+    auto sim = b.Build(cfg, 100.0, 0.001);
+    EXPECT_THROW(sim->Run(FromSeconds(5)), std::invalid_argument);
+  }
+}
+
+TEST(ClusterSimulation, DeterministicAcrossRunsWithFaults) {
+  auto run = [] {
+    PipelineBuilder b(2, 4, 4, false);
+    SimConfig cfg = BaseConfig(ShippingStrategy::kAdaptive, false);
+    cfg.faults.push_back({.vertex = "Worker", .subtask = 0, .at = FromSeconds(6)});
+    const auto constraint = b.Constraint(FromMillis(30));
+    auto sim = b.Build(cfg, 300.0, 0.002);
+    sim->AddConstraint(constraint);
+    return sim->Run(FromSeconds(15));
+  };
+  const RunResult r1 = run();
+  const RunResult r2 = run();
+  EXPECT_EQ(r1.total_items_emitted, r2.total_items_emitted);
+  EXPECT_EQ(r1.total_items_delivered, r2.total_items_delivered);
+  EXPECT_EQ(r1.items_lost, r2.items_lost);
+  EXPECT_EQ(r1.task_crashes, 1u);
+  ASSERT_EQ(r1.windows.size(), r2.windows.size());
+  for (std::size_t i = 0; i < r1.windows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.windows[i].effective_rate, r2.windows[i].effective_rate);
+  }
+}
+
 TEST(ClusterSimulation, WindowedLogicMeasuresReadWriteLatency) {
   JobGraph graph;
   const auto src =
