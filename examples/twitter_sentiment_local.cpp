@@ -8,11 +8,11 @@
 // Run:  ./build/examples/twitter_sentiment_local
 #include <algorithm>
 #include <cstdio>
-#include <mutex>
 #include <map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "runtime/engine.h"
 #include "workloads/sentiment.h"
 #include "workloads/tweets.h"
@@ -124,12 +124,13 @@ class SentimentUdf final : public Udf {
 // Rescale-safe aggregate: UDF instances are recreated on every rescale, so
 // the durable per-topic tallies live outside the UDF behind a mutex.
 struct SentimentBoard {
-  std::mutex mutex;
-  std::map<std::uint64_t, std::pair<long, long>> per_topic;  // +pos / -neg
-  long long total = 0;
+  Mutex mutex;
+  std::map<std::uint64_t, std::pair<long, long>> per_topic
+      ESP_GUARDED_BY(mutex);  // +pos / -neg
+  long long total ESP_GUARDED_BY(mutex) = 0;
 
   void Print() {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     std::printf("scored %lld hot-topic tweets; top topics by volume:\n", total);
     std::vector<std::pair<std::uint64_t, std::pair<long, long>>> rows(per_topic.begin(),
                                                                       per_topic.end());
@@ -149,7 +150,7 @@ class SentimentSink final : public Udf {
   explicit SentimentSink(SentimentBoard* board) : board_(board) {}
   void OnRecord(const Record& r, Collector&) override {
     const ScoredTweet& s = Get<ScoredTweet>(r);
-    std::lock_guard<std::mutex> lock(board_->mutex);
+    MutexLock lock(board_->mutex);
     auto& counts = board_->per_topic[s.topic];
     if (s.sentiment == Sentiment::kPositive) ++counts.first;
     if (s.sentiment == Sentiment::kNegative) ++counts.second;

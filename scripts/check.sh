@@ -10,6 +10,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+echo "== Static analysis (lint.sh: clang-tidy + esp_lint) =="
+scripts/lint.sh build-tidy
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== Thread-safety build (clang++, -Werror=thread-safety) =="
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ -DESP_THREAD_SAFETY=ON >/dev/null
+  cmake --build build-tsa -j "$JOBS"
+else
+  echo "== clang++ not found; skipping the thread-safety leg (CI runs it) =="
+fi
+
 echo "== Release build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: rules clang-tidy cannot express.
+
+Rules
+-----
+raw-sync-primitive   No std::mutex / std::condition_variable / std::lock_guard /
+                     std::unique_lock / std::scoped_lock / std::shared_mutex
+                     outside src/common/thread_annotations.h.  Everything must
+                     go through the annotated esp::Mutex / esp::MutexLock /
+                     esp::CondVar wrappers so the Clang thread-safety leg sees
+                     every acquisition.
+detached-thread      No std::thread::detach().  Detached threads outlive
+                     engine teardown and turn shutdown races into heisenbugs;
+                     every thread in this codebase is joined.
+unseeded-rng         Benchmarks must not construct RNGs without an explicit
+                     seed (std::random_device, time()-seeded engines, or
+                     esp::Rng with no argument).  Bench numbers must be
+                     reproducible run to run.
+unbounded-queue      Runtime code (src/runtime/) must not build unbounded
+                     FIFOs (std::deque / std::queue / std::list as a channel).
+                     Backpressure is load-bearing: the paper's latency model
+                     assumes bounded buffers.
+bare-nolint          Every NOLINT marker must carry a specific check name and
+                     a reason: NOLINT(<check>) followed by an explanation on
+                     the same line.
+
+Suppressions
+------------
+A violating line (or, for includes, the include line) can be allowed with:
+
+    // esp-lint: allow(<rule>) -- <reason>
+
+The reason is mandatory.  Suppressions without one are themselves violations.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+ALLOW_RE = re.compile(r"esp-lint:\s*allow\(([a-z-]+)\)\s*--\s*(\S.*)")
+ALLOW_BARE_RE = re.compile(r"esp-lint:\s*allow\(([a-z-]+)\)(?!\s*--\s*\S)")
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_mutex|shared_lock|recursive_mutex|timed_mutex)\b"
+)
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+UNSEEDED_RNG_RE = re.compile(
+    r"std::random_device\b"
+    r"|std::(mt19937(_64)?|minstd_rand0?|default_random_engine)\s+\w+\s*;"
+    r"|\bRng\s+\w+\s*;"
+    r"|\bRng\s+\w+\s*\{\s*\}"
+)
+UNBOUNDED_QUEUE_RE = re.compile(r"std::(deque|queue|list)\s*<")
+NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?(?P<rest>.*)")
+NOLINT_OK_RE = re.compile(r"^\((?P<checks>[\w\-.,*]+)\)\s*(?P<reason>\S.*)?$")
+
+THREAD_ANNOTATIONS_HDR = Path("src/common/thread_annotations.h")
+
+
+def tracked_sources() -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "src/*", "tests/*", "bench/*", "examples/*"],
+        cwd=REPO, capture_output=True, text=True, check=True,
+    ).stdout
+    return [Path(p) for p in out.splitlines()
+            if p.endswith((".h", ".cpp", ".cc", ".hpp"))]
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so patterns inside them don't match."""
+    return re.sub(r'"(\\.|[^"\\])*"|\'(\\.|[^\'\\])*\'', '""', line)
+
+
+def main() -> int:
+    violations: list[str] = []
+
+    for rel in tracked_sources():
+        path = REPO / rel
+        in_runtime = rel.parts[0] == "src" and len(rel.parts) > 1 and rel.parts[1] == "runtime"
+        in_bench = rel.parts[0] == "bench"
+        is_wrapper_header = rel == THREAD_ANNOTATIONS_HDR
+
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as err:
+            violations.append(f"{rel}: unreadable ({err})")
+            continue
+
+        in_block_comment = False
+        for lineno, raw_line in enumerate(text.splitlines(), start=1):
+            # Track /* ... */ regions so commented-out code is ignored.
+            line = raw_line
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2:]
+                in_block_comment = False
+            start = line.find("/*")
+            if start >= 0 and line.find("*/", start) < 0:
+                in_block_comment = True
+                line = line[:start]
+
+            bare_allow = ALLOW_BARE_RE.search(line)
+            if bare_allow:
+                violations.append(
+                    f"{rel}:{lineno}: [suppression] esp-lint allow({bare_allow.group(1)}) "
+                    f"without a '-- reason'")
+                continue
+            allow = ALLOW_RE.search(line)
+            allowed_rule = allow.group(1) if allow else None
+
+            comment_pos = line.find("//")
+            code = line[:comment_pos] if comment_pos >= 0 else line
+            code = strip_strings(code)
+
+            def report(rule: str, message: str) -> None:
+                if allowed_rule == rule:
+                    return
+                violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+            if not is_wrapper_header and RAW_SYNC_RE.search(code):
+                report("raw-sync-primitive",
+                       "raw std synchronisation primitive; use esp::Mutex / "
+                       "esp::MutexLock / esp::CondVar (common/thread_annotations.h)")
+
+            if DETACH_RE.search(code) and "thread" in code:
+                report("detached-thread",
+                       "detached thread; all threads must be joined")
+
+            if in_bench and UNSEEDED_RNG_RE.search(code):
+                report("unseeded-rng",
+                       "benchmark RNG without an explicit seed; results must "
+                       "be reproducible")
+
+            if in_runtime and UNBOUNDED_QUEUE_RE.search(code):
+                report("unbounded-queue",
+                       "unbounded FIFO in runtime code; channels must be "
+                       "bounded (BoundedQueue) for backpressure")
+
+            if comment_pos >= 0:
+                nolint = NOLINT_RE.search(line[comment_pos:])
+                if nolint:
+                    rest = nolint.group("rest").strip()
+                    ok = NOLINT_OK_RE.match(rest)
+                    if not ok or not ok.group("reason"):
+                        report("bare-nolint",
+                               "NOLINT must name the check and carry a reason: "
+                               "// NOLINT(<check>) <why>")
+
+    if violations:
+        print(f"esp_lint: {len(violations)} violation(s)", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

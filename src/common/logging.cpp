@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace esp {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// Serialises stderr writes: the stream is the guarded resource (a capability
+// with no annotated field), so concurrent log lines never interleave.
+Mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,7 +32,7 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

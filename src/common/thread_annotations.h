@@ -1,0 +1,153 @@
+// Compile-time concurrency contracts.
+//
+// Clang's thread-safety analysis (-Wthread-safety) turns lock-protects-field
+// relationships into compiler-checked invariants: a field declared
+// ESP_GUARDED_BY(mu) may only be touched while `mu` is held, on EVERY path,
+// not just the interleavings a test happens to execute.  TSan remains the
+// dynamic backstop; this header is the static one.
+//
+// The macros expand to nothing outside Clang, so the GCC release build is
+// byte-for-byte unaffected.  The `-Werror=thread-safety` gate is wired as
+// the ESP_THREAD_SAFETY CMake option (Clang-only) and runs in CI's
+// static-analysis job; scripts/check.sh runs it locally when clang++ is
+// available.
+//
+// Usage rules (enforced by scripts/esp_lint.py):
+//   * Use esp::Mutex / esp::MutexLock / esp::CondVar below -- raw std::mutex
+//     and std::condition_variable outside this header are lint errors,
+//     because the raw types carry no capability the analysis can track.
+//   * Declare every lock-protected field ESP_GUARDED_BY(its_mutex).
+//   * Annotate lock-held helper functions ESP_REQUIRES(mutex).
+//   * Avoid guarded-field access inside wait-predicate lambdas: the analysis
+//     checks a lambda body as its own function with no capabilities held.
+//     Write explicit `while (!pred) cv.Wait(lock);` loops instead.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define ESP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ESP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" by convention).
+#define ESP_CAPABILITY(x) ESP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define ESP_SCOPED_CAPABILITY ESP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The annotated field may only be accessed while holding the capability.
+#define ESP_GUARDED_BY(x) ESP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The pointee of the annotated pointer is protected by the capability.
+#define ESP_PT_GUARDED_BY(x) ESP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities.
+#define ESP_REQUIRES(...) \
+  ESP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (held on return).
+#define ESP_ACQUIRE(...) \
+  ESP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define ESP_RELEASE(...) \
+  ESP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define ESP_TRY_ACQUIRE(ret, ...) \
+  ESP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock documentation;
+/// checked when -Wthread-safety-negative is enabled).
+#define ESP_EXCLUDES(...) ESP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define ESP_RETURN_CAPABILITY(x) ESP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from the analysis.  Every use
+/// must carry a comment explaining why the contract cannot be expressed.
+#define ESP_NO_THREAD_SAFETY_ANALYSIS \
+  ESP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace esp {
+
+/// Annotated mutual-exclusion capability wrapping std::mutex.  Prefer
+/// MutexLock for scoped acquisition; Lock/Unlock exist for the rare
+/// hand-over-hand pattern and for tests.
+class ESP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ESP_ACQUIRE() { mu_.lock(); }
+  void Unlock() ESP_RELEASE() { mu_.unlock(); }
+  bool TryLock() ESP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over esp::Mutex.  Supports the unlock/relock dance some
+/// control paths need (the analysis tracks both), and is the handle
+/// esp::CondVar waits on.
+class ESP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ESP_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() ESP_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex before the end of the scope (destruction stays
+  /// correct: the underlying unique_lock tracks ownership).
+  void Unlock() ESP_RELEASE() { lock_.unlock(); }
+  /// Re-acquires after Unlock().
+  void Lock() ESP_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to esp::MutexLock.  Deliberately predicate-free:
+/// a predicate lambda reading guarded fields defeats the analysis (it is
+/// checked as a capability-less function), so callers write the canonical
+///   while (!condition) cv.Wait(lock);
+/// loop, which the analysis sees in the scope that actually holds the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Atomically releases `lock`, waits, and re-acquires before returning --
+  /// capability-neutral, so no annotation is needed.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock, const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(MutexLock& lock,
+                           const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace esp

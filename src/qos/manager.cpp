@@ -53,6 +53,7 @@ QosManager::QosManager(std::size_t history_length) : history_length_(history_len
 }
 
 void QosManager::Ingest(const QosReport& report) {
+  MutexLock lock(*mutex_);
   // Recovery transient: windows overlapping an outage mix stall + replay
   // burst into the statistics; drop the whole report.
   if (report.time < stale_until_) return;
@@ -73,6 +74,7 @@ void QosManager::Ingest(const QosReport& report) {
 }
 
 void QosManager::Prune(const RuntimeGraph& rg) {
+  MutexLock lock(*mutex_);
   for (auto it = task_history_.begin(); it != task_history_.end();) {
     const TaskId& t = it->first;
     bool live = false;
@@ -100,10 +102,12 @@ void QosManager::Prune(const RuntimeGraph& rg) {
 }
 
 void QosManager::MarkStale(SimTime until) {
+  MutexLock lock(*mutex_);
   stale_until_ = std::max(stale_until_, until);
 }
 
 void QosManager::DropVertex(JobVertexId vertex, const std::vector<JobEdgeId>& adjacent_edges) {
+  MutexLock lock(*mutex_);
   for (auto it = task_history_.begin(); it != task_history_.end();) {
     it = it->first.vertex == vertex ? task_history_.erase(it) : std::next(it);
   }
@@ -120,6 +124,7 @@ void QosManager::DropVertex(JobVertexId vertex, const std::vector<JobEdgeId>& ad
 }
 
 PartialSummary QosManager::MakePartialSummary(SimTime now) const {
+  MutexLock lock(*mutex_);
   PartialSummary partial;
   partial.time = now;
 

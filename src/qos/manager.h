@@ -9,11 +9,12 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <deque>  // esp-lint: allow(unbounded-queue) -- measurement history, trimmed to history_length_ on every push
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "graph/job_graph.h"
 #include "graph/runtime_graph.h"
 #include "graph/sequence.h"
@@ -55,6 +56,12 @@ class QosReporter {
 };
 
 /// Aggregates reports for a subset of tasks/channels into partial summaries.
+///
+/// Internally synchronised: Ingest/Prune/DropVertex/MarkStale may race with
+/// MakePartialSummary.  Today the engine drives every method from its
+/// control thread, but ROADMAP scaling work (sharded managers, async
+/// backends) will ingest reports from worker threads, so the histories are
+/// mutex-guarded now and the contract is compiler-checked.
 class QosManager {
  public:
   /// `history_length` is m in Eq. 2: how many past measurement intervals are
@@ -85,14 +92,25 @@ class QosManager {
   /// (vertex/edge averages per Eq. 2, weighted by task/channel counts).
   PartialSummary MakePartialSummary(SimTime now) const;
 
-  std::size_t tracked_tasks() const { return task_history_.size(); }
-  std::size_t tracked_channels() const { return channel_history_.size(); }
+  std::size_t tracked_tasks() const {
+    MutexLock lock(*mutex_);
+    return task_history_.size();
+  }
+  std::size_t tracked_channels() const {
+    MutexLock lock(*mutex_);
+    return channel_history_.size();
+  }
 
  private:
-  std::size_t history_length_;
-  SimTime stale_until_ = 0;  ///< reports stamped before this are discarded
-  std::unordered_map<TaskId, std::deque<TaskMeasurement>> task_history_;
-  std::unordered_map<ChannelId, std::deque<ChannelMeasurement>> channel_history_;
+  std::size_t history_length_;  ///< immutable after construction
+  /// Heap-held so the manager stays movable (engine + simulator keep pools
+  /// in std::vector).  Moves only happen during single-threaded setup.
+  std::unique_ptr<Mutex> mutex_ = std::make_unique<Mutex>();
+  SimTime stale_until_ ESP_GUARDED_BY(*mutex_) = 0;  ///< reports stamped before this are discarded
+  std::unordered_map<TaskId, std::deque<TaskMeasurement>> task_history_
+      ESP_GUARDED_BY(*mutex_);
+  std::unordered_map<ChannelId, std::deque<ChannelMeasurement>> channel_history_
+      ESP_GUARDED_BY(*mutex_);
 };
 
 /// Estimated mean latency of a job sequence from the global summary: the sum

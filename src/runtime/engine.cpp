@@ -29,9 +29,9 @@ struct LocalEngine::Channel {
   std::uint32_t index = 0;
   LocalTask* consumer = nullptr;
 
-  std::mutex mutex;
-  std::vector<Envelope> buffer;    // guarded by mutex
-  ChannelSampler sampler{1.0, 1};  // guarded by mutex
+  Mutex mutex;
+  std::vector<Envelope> buffer ESP_GUARDED_BY(mutex);
+  ChannelSampler sampler ESP_GUARDED_BY(mutex){1.0, 1};
   // Written under mutex, read lock-free: FlushExpired's not-due pre-check
   // (0 = buffer empty) and Append's deadline test.  The deadline caches
   // edge_deadlines_ so the per-record path skips the hash lookup.
@@ -59,11 +59,13 @@ struct LocalEngine::LocalTask {
   std::atomic<bool> done{false};
   bool epoch_member = true;  // false once replaced by a rescale
 
-  std::mutex sampler_mutex;
-  TaskSampler sampler{1.0, 1};
-  std::vector<std::int64_t> rw_pending;  // task-thread only
-  std::int64_t next_timer_ns = 0;        // task-thread only
-  Rng rng{1};                            // task-thread only
+  Mutex sampler_mutex;
+  TaskSampler sampler ESP_GUARDED_BY(sampler_mutex){1.0, 1};
+  // rw_pending and rng are touched only inside sampler_mutex sections (the
+  // post-batch metric pass and the timer path), so they share its guard.
+  std::vector<std::int64_t> rw_pending ESP_GUARDED_BY(sampler_mutex);
+  Rng rng ESP_GUARDED_BY(sampler_mutex){1};
+  std::int64_t next_timer_ns = 0;  // task-thread only
 
   // Per-task metric shards, merged by HarvestTaskMetrics (control thread).
   // The counters are uncontended relaxed atomics (one writer, harvested via
@@ -71,7 +73,7 @@ struct LocalEngine::LocalTask {
   // the sink's post-batch pass pays a single lock.
   std::atomic<std::uint64_t> emitted_n{0};    // sources: records emitted
   std::atomic<std::uint64_t> delivered_n{0};  // sinks: records consumed
-  LogHistogram latency_shard{1e-6, 1.05};     // guarded by sampler_mutex
+  LogHistogram latency_shard ESP_GUARDED_BY(sampler_mutex){1e-6, 1.05};
 
   // Failure/recovery state.  `failed` is raised by the dying task thread
   // (after its FailureEvent is published) and cleared by the supervisor on
@@ -151,7 +153,7 @@ LocalEngine::LocalEngine(JobGraph graph, LocalEngineOptions options)
 
 LocalEngine::~LocalEngine() {
   shutdown_.store(true);
-  control_cv_.notify_all();
+  control_cv_.NotifyAll();
   TeardownEpoch();
   // Threads abandoned by the bounded teardown must be collected before the
   // engine state they reference is destroyed; blocking here is the only
@@ -195,7 +197,7 @@ SimDuration LocalEngine::FlushDeadlineForEdge(std::uint32_t edge) const {
 void LocalEngine::Append(Channel& channel, Record record, std::int64_t now) {
   std::vector<Envelope> flushed;
   {
-    std::lock_guard<std::mutex> lock(channel.mutex);
+    MutexLock lock(channel.mutex);
     if (channel.buffer.empty()) {
       if (options_.shipping != ShippingStrategy::kInstantFlush) {
         channel.buffer.reserve(options_.batch_capacity);
@@ -248,7 +250,7 @@ void LocalEngine::FlushChannel(Channel& channel, bool force) {
   }
   std::vector<Envelope> flushed;
   {
-    std::lock_guard<std::mutex> lock(channel.mutex);
+    MutexLock lock(channel.mutex);
     if (channel.buffer.empty()) return;
     const std::int64_t now = NowNs();
     const bool expired =
@@ -292,14 +294,14 @@ void LocalEngine::ReportTaskFailure(LocalTask* task, const std::string& what) {
   ESP_LOG_ERROR << "task " << task->vertex_name << "[" << task->id.subtask
                 << "] failed: " << what;
   {
-    std::lock_guard<std::mutex> lock(failure_mutex_);
+    MutexLock lock(failure_mutex_);
     FailureEvent ev;
     ev.vertex = task->vertex_name;
     ev.subtask = task->id.subtask;
     ev.time = NowNs();
     ev.what = what;
-    task->last_failure_index = result_.failures.size();
-    result_.failures.push_back(std::move(ev));
+    task->last_failure_index = failures_.size();
+    failures_.push_back(std::move(ev));
   }
   // Publish AFTER the event so the supervisor (which clears
   // failure_pending_ before scanning failed flags) always finds the event.
@@ -325,17 +327,17 @@ void LocalEngine::SourceLoop(LocalTask* task) {
   // close downstream queues -- only a clean end-of-stream does.
   if (!crashed) CloseDownstream(task);
   task->done.store(true);
-  control_cv_.notify_all();
+  control_cv_.NotifyAll();
 }
 
 void LocalEngine::SourceLoopBody(LocalTask* task, RoutingCollector& collector) {
   for (;;) {
     if (shutdown_.load()) break;
     if (pause_requested_.load()) {
-      std::unique_lock<std::mutex> lock(control_mutex_);
+      MutexLock lock(control_mutex_);
       ++parked_sources_;
-      control_cv_.notify_all();
-      control_cv_.wait(lock, [&] { return !pause_requested_.load() || shutdown_.load(); });
+      control_cv_.NotifyAll();
+      while (pause_requested_.load() && !shutdown_.load()) control_cv_.Wait(lock);
       --parked_sources_;
       continue;
     }
@@ -369,7 +371,7 @@ void LocalEngine::TaskLoop(LocalTask* task) {
   if (!shutdown_.load() && !crashed) CloseDownstream(task);
   if (crashed) task->busy.store(false);
   task->done.store(true);
-  control_cv_.notify_all();
+  control_cv_.NotifyAll();
 }
 
 void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
@@ -392,7 +394,7 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
   const auto post_batch_metrics = [&](std::size_t count) {
     std::uint64_t delivered = 0;
     {
-      std::lock_guard<std::mutex> lock(task->sampler_mutex);
+      MutexLock lock(task->sampler_mutex);
       for (std::size_t i = 0; i < count; ++i) {
         const double service = static_cast<double>(end_ns[i] - start_ns[i]) * 1e-9;
         task->sampler.RecordServiceTime(service);
@@ -451,13 +453,15 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
       task->busy.store(true);
       task->udf->OnTimer(collector);
       task->next_timer_ns += timer_period;
-      if (collector.TakeEmitted() > 0 && !task->rw_pending.empty()) {
-        std::lock_guard<std::mutex> lock(task->sampler_mutex);
-        const std::int64_t t1 = NowNs();
-        for (std::int64_t t : task->rw_pending) {
-          task->sampler.OfferTaskLatency(static_cast<double>(t1 - t) * 1e-9);
+      if (collector.TakeEmitted() > 0) {
+        MutexLock lock(task->sampler_mutex);
+        if (!task->rw_pending.empty()) {
+          const std::int64_t t1 = NowNs();
+          for (std::int64_t t : task->rw_pending) {
+            task->sampler.OfferTaskLatency(static_cast<double>(t1 - t) * 1e-9);
+          }
+          task->rw_pending.clear();
         }
-        task->rw_pending.clear();
       }
     }
     FlushExpired(task);
@@ -471,13 +475,13 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
     // Arrival + channel-latency bookkeeping once per batch: one sampler
     // lock, one channel lock per same-channel run of envelopes.
     {
-      std::lock_guard<std::mutex> lock(task->sampler_mutex);
+      MutexLock lock(task->sampler_mutex);
       for (std::size_t i = 0; i < n; ++i) task->sampler.RecordArrival(now);
     }
     for (std::size_t i = 0; i < n;) {
       const std::uint32_t ch = batch[i].channel;
       Channel& in = *channels_[ch];
-      std::lock_guard<std::mutex> ch_lock(in.mutex);
+      MutexLock ch_lock(in.mutex);
       for (; i < n && batch[i].channel == ch; ++i) {
         in.sampler.OfferChannelLatency(
             static_cast<double>(now - batch[i].channel_emit_ns) * 1e-9);
@@ -566,8 +570,13 @@ void LocalEngine::BuildEpoch() {
         task->vertex_name = jv.name;
         task->is_source = jv.inputs.empty();
         task->is_sink = jv.outputs.empty();
-        task->rng = Rng(seeder.Next());
-        task->sampler = TaskSampler(options_.latency_sample_probability, seeder.Next());
+        {
+          // The task is not shared yet (its thread starts later), but the
+          // guard contract is unconditional; the uncontended lock is free.
+          MutexLock lock(task->sampler_mutex);
+          task->rng = Rng(seeder.Next());
+          task->sampler = TaskSampler(options_.latency_sample_probability, seeder.Next());
+        }
         if (task->is_source) {
           const auto it = source_factories_.find(jv.name);
           if (it == source_factories_.end()) {
@@ -655,7 +664,7 @@ void LocalEngine::TeardownEpoch() {
       }
     }
     if (!pending || NowNs() >= deadline) break;
-    control_cv_.notify_all();  // re-nudge parked sources / wedged waiters
+    control_cv_.NotifyAll();  // re-nudge parked sources / wedged waiters
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   for (auto& task : tasks_) {
@@ -732,25 +741,25 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
   // reach its park point once that queue moves.
   pause_requested_.store(true);
   {
-    std::unique_lock<std::mutex> lock(control_mutex_);
+    MutexLock lock(control_mutex_);
     for (;;) {
       std::uint32_t live = 0;
       for (auto& task : tasks_) {
         if (task->is_source && !task->done.load()) ++live;
       }
-      if (parked_sources_.load() >= live) break;
+      if (parked_sources_ >= live) break;
       if (NowNs() >= deadline) {
-        lock.unlock();
+        lock.Unlock();
         pause_requested_.store(false);
-        control_cv_.notify_all();
+        control_cv_.NotifyAll();
         ESP_LOG_ERROR << "RebuildEpoch: sources failed to park within the drain "
                          "timeout; aborting";
         return false;
       }
-      control_cv_.wait_for(lock, std::chrono::milliseconds(2));
-      lock.unlock();
+      control_cv_.WaitFor(lock, std::chrono::milliseconds(2));
+      lock.Unlock();
       PumpFailedTasks();
-      lock.lock();
+      lock.Lock();
     }
   }
 
@@ -773,7 +782,7 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
       if (!task->queue->Empty() || task->busy.load()) return false;
     }
     for (auto& channel : channels_) {
-      std::lock_guard<std::mutex> lock(channel->mutex);
+      MutexLock lock(channel->mutex);
       if (!channel->buffer.empty()) return false;
     }
     return true;
@@ -785,7 +794,7 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
     stable = drained() ? stable + 1 : 0;
     if (stable < 3 && NowNs() >= deadline) {
       pause_requested_.store(false);
-      control_cv_.notify_all();
+      control_cv_.NotifyAll();
       ESP_LOG_ERROR << "RebuildEpoch: flow failed to drain within the drain "
                        "timeout (wedged task?); aborting";
       return false;
@@ -824,9 +833,9 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
           (static_cast<std::uint64_t>(Value(task->id.vertex)) << 32) |
           task->id.subtask;
       restart_state_[key].next_restart_ns = 0;
-      std::lock_guard<std::mutex> lock(failure_mutex_);
-      if (task->last_failure_index < result_.failures.size()) {
-        result_.failures[task->last_failure_index].recovered = true;
+      MutexLock lock(failure_mutex_);
+      if (task->last_failure_index < failures_.size()) {
+        failures_[task->last_failure_index].recovered = true;
       }
     }
   }
@@ -851,7 +860,7 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
 
   // 5. Resume the sources.
   pause_requested_.store(false);
-  control_cv_.notify_all();
+  control_cv_.NotifyAll();
   return true;
 }
 
@@ -912,13 +921,16 @@ bool LocalEngine::RestartTask(LocalTask* task) {
                   << " threw: " << e.what();
     return false;
   }
-  task->rw_pending.clear();
+  {
+    MutexLock lock(task->sampler_mutex);
+    task->rw_pending.clear();
+  }
   task->next_timer_ns = 0;
   task->busy.store(false);
   {
-    std::lock_guard<std::mutex> lock(failure_mutex_);
-    if (task->last_failure_index < result_.failures.size()) {
-      result_.failures[task->last_failure_index].recovered = true;
+    MutexLock lock(failure_mutex_);
+    if (task->last_failure_index < failures_.size()) {
+      failures_[task->last_failure_index].recovered = true;
     }
   }
   task->failed.store(false);
@@ -1002,7 +1014,7 @@ bool LocalEngine::Supervise() {
 void LocalEngine::HarvestTaskMetrics(LocalTask* task) {
   result_.records_emitted += task->emitted_n.exchange(0, std::memory_order_relaxed);
   result_.records_delivered += task->delivered_n.exchange(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(task->sampler_mutex);
+  MutexLock lock(task->sampler_mutex);
   if (task->latency_shard.count() > 0) {
     result_.latency.Merge(task->latency_shard);
     task->latency_shard.Reset();
@@ -1018,7 +1030,7 @@ void LocalEngine::ControlTick() {
     if (task->done.load()) continue;
     TaskMeasurement m;
     {
-      std::lock_guard<std::mutex> lock(task->sampler_mutex);
+      MutexLock lock(task->sampler_mutex);
       m = task->sampler.Harvest();
     }
     shards[std::hash<TaskId>{}(task->id) % shards.size()].tasks.emplace_back(task->id, m);
@@ -1026,7 +1038,7 @@ void LocalEngine::ControlTick() {
   for (auto& channel : channels_) {
     ChannelMeasurement m;
     {
-      std::lock_guard<std::mutex> lock(channel->mutex);
+      MutexLock lock(channel->mutex);
       m = channel->sampler.Harvest();
     }
     shards[std::hash<ChannelId>{}(channel->id) % shards.size()].channels.emplace_back(
@@ -1114,12 +1126,19 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
   // Shut down: close everything and join, bounded so a stuck UDF surfaces
   // as a reported failure instead of hanging the caller.
   shutdown_.store(true);
-  control_cv_.notify_all();
+  control_cv_.NotifyAll();
   TeardownEpoch();
 
   for (auto& task : tasks_) HarvestTaskMetrics(task.get());
   for (JobVertexId v : graph_.VertexIds()) {
     result_.final_parallelism[graph_.vertex(v).name] = graph_.vertex(v).parallelism;
+  }
+  {
+    // Fold the cross-thread failure stream into the control-thread result;
+    // every task thread has been joined or reported stuck by now.
+    MutexLock lock(failure_mutex_);
+    result_.failures = std::move(failures_);
+    failures_.clear();
   }
   return std::move(result_);
 }

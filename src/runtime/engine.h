@@ -18,16 +18,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "core/batching.h"
 #include "core/elastic_scaler.h"
 #include "graph/job_graph.h"
@@ -221,12 +220,15 @@ class LocalEngine {
   std::vector<std::unique_ptr<LocalTask>> tasks_;
   std::vector<std::unique_ptr<Channel>> channels_;
 
-  // Pause/teardown signalling.
-  std::mutex control_mutex_;
-  std::condition_variable control_cv_;
+  // Pause/teardown signalling.  control_mutex_ orders the park handshake:
+  // a source increments parked_sources_ and waits on control_cv_ under it;
+  // the control thread reads the count under it, so "parked" is never
+  // observed before the source is actually committed to the wait.
+  Mutex control_mutex_;
+  CondVar control_cv_;
   std::atomic<bool> pause_requested_{false};
   std::atomic<bool> shutdown_{false};
-  std::atomic<std::uint32_t> parked_sources_{0};
+  std::uint32_t parked_sources_ ESP_GUARDED_BY(control_mutex_) = 0;
 
   // QoS + scaling (control thread only).
   std::vector<QosManager> managers_;
@@ -239,9 +241,11 @@ class LocalEngine {
   // counters and LocalTask::latency_shard) that HarvestTaskMetrics folds
   // into result_ at ControlTick, rescale teardown and end of run -- the hot
   // path never touches a global counter or lock.  result_ belongs to the
-  // control thread; task threads only append to result_.failures, guarded
-  // by failure_mutex_.
-  std::mutex failure_mutex_;
+  // control thread exclusively; the one cross-thread stream -- failure
+  // events published by dying task threads -- lives in failures_ under
+  // failure_mutex_ and is folded into result_.failures when Run returns.
+  Mutex failure_mutex_;
+  std::vector<FailureEvent> failures_ ESP_GUARDED_BY(failure_mutex_);
   EngineResult result_;
 
   // Supervision.  failure_pending_ is raised by a dying task thread after

@@ -55,7 +55,7 @@ void FaultBinding::TickCrash(const std::string& vertex, std::uint32_t subtask,
 FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
 
 Fault& FaultInjector::Add(FaultKind kind, std::string vertex, std::int32_t subtask) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Fault& f = faults_.emplace_back();
   f.kind = kind;
   f.vertex = std::move(vertex);
@@ -98,7 +98,7 @@ void FaultInjector::Wedge(std::string vertex, std::int32_t subtask, SimTime from
 
 FaultBinding FaultInjector::Resolve(const std::string& vertex, std::uint32_t subtask) {
   FaultBinding b;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   b.rng = rng_.Fork();
   for (Fault& f : faults_) {
     if (!Matches(f, vertex, subtask)) continue;

@@ -19,12 +19,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/time.h"
 
 namespace esp::runtime {
@@ -143,9 +143,10 @@ class FaultInjector {
                              std::int32_t subtask);
 
   const std::uint64_t seed_;
-  Rng rng_;
-  std::mutex mutex_;  // guards faults_ growth vs. Resolve
-  std::deque<fault_internal::Fault> faults_;  // stable addresses
+  Rng rng_ ESP_GUARDED_BY(mutex_);  ///< forked per binding under the lock
+  Mutex mutex_;  // guards faults_ growth vs. Resolve
+  // A deque (not vector) so Fault addresses stay stable across Add.
+  std::deque<fault_internal::Fault> faults_ ESP_GUARDED_BY(mutex_);  // esp-lint: allow(unbounded-queue) -- bounded by configured fault count
 };
 
 }  // namespace esp::runtime

@@ -17,15 +17,18 @@
 //     mutex makes the "skip notify" decisions race-free: a waiter registers
 //     itself before releasing the lock, so a notifier holding the lock
 //     either sees it or runs before the wait.
+//
+// Every mutable field is ESP_GUARDED_BY(mutex_): the lock discipline here is
+// a compiler-checked contract (-Werror=thread-safety), not a comment.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace esp::runtime {
 
@@ -44,14 +47,14 @@ class BoundedQueue {
   /// the queue was closed (items are dropped).  A batch larger than the
   /// capacity is admitted once the queue is empty (no deadlock on oversize
   /// batches).
-  bool PushAll(std::vector<T>&& items) {
+  bool PushAll(std::vector<T>&& items) ESP_EXCLUDES(mutex_) {
     if (items.empty()) return !closed();  // never store empty chunks
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++waiting_producers_;
     min_waiting_batch_ = std::min(min_waiting_batch_, items.size());
-    not_full_.wait(lock, [&] {
-      return closed_ || size_ == 0 || size_ + items.size() <= capacity_;
-    });
+    while (!closed_ && size_ != 0 && size_ + items.size() > capacity_) {
+      not_full_.Wait(lock);
+    }
     --waiting_producers_;
     // min_waiting_batch_ may be stale (smaller than any remaining waiter's
     // batch) until the last waiter leaves; that only causes a spurious
@@ -66,14 +69,14 @@ class BoundedQueue {
       // A batch can satisfy several parked consumers; waking just one would
       // strand the rest until the next push (or Close).
       if (n > 1 && waiting_consumers_ > 1) {
-        not_empty_.notify_all();
+        not_empty_.NotifyAll();
       } else {
-        not_empty_.notify_one();
+        not_empty_.NotifyOne();
       }
     }
     // Chain to the next parked producer if its batch might still fit; it
     // re-checks its own predicate and goes back to sleep otherwise.
-    if (waiting_producers_ > 0 && size_ < capacity_) not_full_.notify_one();
+    if (waiting_producers_ > 0 && size_ < capacity_) not_full_.NotifyOne();
     return true;
   }
 
@@ -83,8 +86,8 @@ class BoundedQueue {
   /// queue empty and the flag false can conclude no item is in flight (the
   /// drain detector of stop-the-world rescaling relies on this).
   std::optional<T> PopFor(std::chrono::nanoseconds timeout,
-                          std::atomic<bool>* mark_busy = nullptr) {
-    std::unique_lock<std::mutex> lock(mutex_);
+                          std::atomic<bool>* mark_busy = nullptr) ESP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (!WaitNotEmpty(lock, timeout)) return std::nullopt;
     std::optional<T> item = std::move(chunks_.front()[front_pos_]);
     ++front_pos_;
@@ -104,9 +107,9 @@ class BoundedQueue {
   /// `mark_busy` follows the same under-the-lock contract as PopFor.
   std::size_t PopBatchFor(std::size_t max_items, std::chrono::nanoseconds timeout,
                           std::vector<T>& out,
-                          std::atomic<bool>* mark_busy = nullptr) {
+                          std::atomic<bool>* mark_busy = nullptr) ESP_EXCLUDES(mutex_) {
     out.clear();
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!WaitNotEmpty(lock, timeout)) return 0;
     std::size_t n = 0;
     // Fast path: hand the front chunk over wholesale.
@@ -139,9 +142,9 @@ class BoundedQueue {
   /// closed flag.  Recovery-only: the supervisor uses it to return records
   /// salvaged from a failed task so the restarted incarnation sees them
   /// before anything newer.  Never called concurrently with itself.
-  void PushFront(std::vector<T>&& items) {
+  void PushFront(std::vector<T>&& items) ESP_EXCLUDES(mutex_) {
     if (items.empty()) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Normalise the partially consumed front chunk so chunk boundaries stay
     // aligned with front_pos_ == 0.
     if (front_pos_ > 0) {
@@ -151,15 +154,15 @@ class BoundedQueue {
     }
     size_ += items.size();
     chunks_.push_front(std::move(items));
-    if (waiting_consumers_ > 0) not_empty_.notify_all();
+    if (waiting_consumers_ > 0) not_empty_.NotifyAll();
   }
 
   /// Removes and returns everything currently queued without waiting.
   /// Recovery-only: lets the supervisor salvage a failed task's backlog
   /// before tearing its queue down.
-  std::vector<T> DrainAll() {
+  std::vector<T> DrainAll() ESP_EXCLUDES(mutex_) {
     std::vector<T> out;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     while (!chunks_.empty()) {
       std::vector<T>& front = chunks_.front();
       for (std::size_t i = front_pos_; i < front.size(); ++i) {
@@ -169,40 +172,44 @@ class BoundedQueue {
       front_pos_ = 0;
     }
     size_ = 0;
-    if (waiting_producers_ > 0) not_full_.notify_all();
+    if (waiting_producers_ > 0) not_full_.NotifyAll();
     return out;
   }
 
   /// Marks the queue closed; producers unblock, consumers drain what's left.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Close() ESP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const ESP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const ESP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return size_;
   }
 
-  bool Empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool Empty() const ESP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return size_ == 0;
   }
 
  private:
-  /// Waits for an item or close; true iff an item is available.  Call with
-  /// `lock` held.
-  bool WaitNotEmpty(std::unique_lock<std::mutex>& lock, std::chrono::nanoseconds timeout) {
+  /// Waits for an item or close; true iff an item is available.  `lock`
+  /// must hold mutex_.
+  bool WaitNotEmpty(MutexLock& lock, std::chrono::nanoseconds timeout)
+      ESP_REQUIRES(mutex_) {
     if (size_ == 0 && !closed_) {
       ++waiting_consumers_;
-      not_empty_.wait_for(lock, timeout, [&] { return closed_ || size_ > 0; });
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      while (size_ == 0 && !closed_) {
+        if (not_empty_.WaitUntil(lock, deadline) == std::cv_status::timeout) break;
+      }
       --waiting_consumers_;
     }
     return size_ > 0;
@@ -215,13 +222,13 @@ class BoundedQueue {
   /// watermark with no admissible batch stay silent -- that is the wakeup
   /// throttling: under sustained backpressure producers are woken once per
   /// drained batch, not once per record.
-  void WakeProducers() {
+  void WakeProducers() ESP_REQUIRES(mutex_) {
     if (waiting_producers_ == 0) return;
     if (size_ == 0) {
-      not_full_.notify_all();
+      not_full_.NotifyAll();
     } else if (size_ < low_watermark_ ||
                (size_ < capacity_ && capacity_ - size_ >= min_waiting_batch_)) {
-      not_full_.notify_one();
+      not_full_.NotifyOne();
     }
   }
 
@@ -229,16 +236,18 @@ class BoundedQueue {
 
   const std::size_t capacity_;
   const std::size_t low_watermark_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::vector<T>> chunks_;  // batch-granular storage
-  std::size_t front_pos_ = 0;          // consumed prefix of chunks_.front()
-  std::size_t size_ = 0;               // total items across chunks
-  std::size_t waiting_producers_ = 0;
-  std::size_t waiting_consumers_ = 0;
-  std::size_t min_waiting_batch_ = kNoWaiter;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  // Chunk list, not the channel itself: total item occupancy across chunks
+  // is bounded by capacity_ (enforced in PushAll).
+  std::deque<std::vector<T>> chunks_ ESP_GUARDED_BY(mutex_);  // esp-lint: allow(unbounded-queue) -- occupancy bounded by capacity_
+  std::size_t front_pos_ ESP_GUARDED_BY(mutex_) = 0;  // consumed prefix of chunks_.front()
+  std::size_t size_ ESP_GUARDED_BY(mutex_) = 0;       // total items across chunks
+  std::size_t waiting_producers_ ESP_GUARDED_BY(mutex_) = 0;
+  std::size_t waiting_consumers_ ESP_GUARDED_BY(mutex_) = 0;
+  std::size_t min_waiting_batch_ ESP_GUARDED_BY(mutex_) = kNoWaiter;
+  bool closed_ ESP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace esp::runtime

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <stdexcept>
+#include <string_view>
 
 namespace esp::workloads {
 
@@ -75,7 +76,15 @@ Tweet TweetGenerator::Next(SimTime now) {
   } else {
     fragment = kNeutralFragments[rng_.UniformInt(0, kNeutralFragments.size() - 1)];
   }
-  tweet.text = "#topic" + std::to_string(tweet.topic) + " " + fragment;
+  // Per-record hot path: append into one reserved buffer instead of an
+  // operator+ chain (which allocates a temporary per join).
+  const std::string topic_digits = std::to_string(tweet.topic);
+  std::string_view fragment_view(fragment);
+  tweet.text.reserve(7 + topic_digits.size() + fragment_view.size());
+  tweet.text += "#topic";
+  tweet.text += topic_digits;
+  tweet.text += ' ';
+  tweet.text += fragment_view;
   return tweet;
 }
 

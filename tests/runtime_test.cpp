@@ -4,13 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/thread_annotations.h"
 #include "runtime/engine.h"
 #include "runtime/queue.h"
 #include "runtime/record.h"
@@ -261,9 +261,9 @@ class ScaleUdf final : public Udf {
 
 // Collects int payloads (and the receiving subtask) into shared state.
 struct SinkState {
-  std::mutex mutex;
-  std::vector<int> values;
-  std::vector<std::uint32_t> subtasks;
+  Mutex mutex;
+  std::vector<int> values ESP_GUARDED_BY(mutex);
+  std::vector<std::uint32_t> subtasks ESP_GUARDED_BY(mutex);
 };
 
 class CollectSink final : public Udf {
@@ -271,7 +271,7 @@ class CollectSink final : public Udf {
   CollectSink(SinkState* state, std::uint32_t subtask) : state_(state), subtask_(subtask) {}
 
   void OnRecord(const Record& r, Collector&) override {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     state_->values.push_back(Get<int>(r));
     state_->subtasks.push_back(subtask_);
   }
@@ -447,7 +447,7 @@ TEST(LocalEngine, WindowedUdfEmitsOnTimer) {
   // All 150 records are accounted for across the window counts.
   long long total = 0;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(state.mutex);
     for (int v : state.values) total += v;
   }
   EXPECT_EQ(total, 150);
@@ -605,7 +605,7 @@ EngineResult RunFaultJob(int total, FailurePolicy policy, FaultInjector* injecto
 }
 
 long long SumOfValues(SinkState& state) {
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   long long sum = 0;
   for (int v : state.values) sum += v;
   return sum;

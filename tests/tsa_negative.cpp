@@ -1,0 +1,46 @@
+// Negative-compile probe for the Clang thread-safety gate.
+//
+// tests/CMakeLists.txt try_compiles this file twice under Clang:
+//   1. as-is                      -> must COMPILE (the contract is satisfiable)
+//   2. with -DESP_TSA_VIOLATE     -> must FAIL under -Werror=thread-safety
+// The second leg proves the gate has teeth: if the analysis ever stops
+// rejecting an unguarded write to an ESP_GUARDED_BY field (annotation macros
+// accidentally stubbed out, flag dropped, wrapper un-annotated), configure
+// fails loudly instead of the contract eroding silently.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    esp::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+#if defined(ESP_TSA_VIOLATE)
+  // Unguarded write: reading/writing value_ without holding mutex_ must be
+  // rejected by -Werror=thread-safety.
+  void IncrementUnguarded() { ++value_; }
+#endif
+
+  int Load() {
+    esp::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  esp::Mutex mutex_;
+  int value_ ESP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+#if defined(ESP_TSA_VIOLATE)
+  c.IncrementUnguarded();
+#endif
+  return c.Load() == 1 ? 0 : 1;
+}
