@@ -12,8 +12,15 @@
 // recovery policy, so recovery overhead can be measured against the clean
 // run; `--seed S` seeds the injector for reproducible schedules.
 //
+// Payload classes: `--payload-size 8|24|64` picks the record payload -- 8
+// (int) and 24 (boundary struct) ride the inline small-buffer path, 64
+// exceeds the inline capacity and exercises the boxed shared_ptr path.
+// The allocs/rec column reports heap allocations per delivered record over
+// the engine run (requires a -DESP_COUNT_ALLOCS=ON build, "n/a" otherwise).
+//
 // Usage: micro_engine [--records N] [--queue N] [--batch N] [--seed S]
-//                     [--fail-at N] [--policy P] [--tsv]
+//                     [--payload-size 8|24|64]
+//                     [--fail-at N] [--policy P] [--tsv] [--json]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/alloc_counter.h"
 #include "graph/job_graph.h"
 #include "runtime/engine.h"
 #include "runtime/record.h"
@@ -65,14 +73,59 @@ FailurePolicy ParsePolicy(const char* name) {
   std::exit(2);
 }
 
-// Emits `total` int records as fast as Produce() is called.
+// Payload classes selected by --payload-size.  int and Payload24 take the
+// inline small-buffer path of Record; Payload64 exceeds kInlineCapacity and
+// is boxed behind a shared_ptr (one allocation per MakeRecord).
+struct Payload24 {
+  std::uint64_t a, b, c;
+};
+struct Payload64 {
+  std::uint64_t w[8];
+};
+static_assert(runtime::IsInlinePayload<int>);
+static_assert(runtime::IsInlinePayload<Payload24>);
+static_assert(!runtime::IsInlinePayload<Payload64>);
+
+template <typename P>
+P MakePayload(std::uint64_t v);
+template <>
+int MakePayload<int>(std::uint64_t v) {
+  return static_cast<int>(v);
+}
+template <>
+Payload24 MakePayload<Payload24>(std::uint64_t v) {
+  return Payload24{v, v + 1, v + 2};
+}
+template <>
+Payload64 MakePayload<Payload64>(std::uint64_t v) {
+  Payload64 p{};
+  p.w[0] = v;
+  return p;
+}
+
+template <typename P>
+std::uint64_t PayloadValue(const P& p) {
+  return p.a;
+}
+template <>
+std::uint64_t PayloadValue<int>(const int& p) {
+  return static_cast<std::uint64_t>(p);
+}
+template <>
+std::uint64_t PayloadValue<Payload64>(const Payload64& p) {
+  return p.w[0];
+}
+
+// Emits `total` records as fast as Produce() is called.
+template <typename P>
 class BlastSource final : public SourceFunction {
  public:
   explicit BlastSource(int total) : total_(total) {}
 
   bool Produce(Collector& out) override {
     if (next_ >= total_) return false;
-    out.Emit(runtime::MakeRecord<int>(next_, static_cast<std::uint64_t>(next_)));
+    out.Emit(runtime::MakeRecord<P>(MakePayload<P>(static_cast<std::uint64_t>(next_)),
+                                    static_cast<std::uint64_t>(next_)));
     ++next_;
     return true;
   }
@@ -83,10 +136,12 @@ class BlastSource final : public SourceFunction {
 };
 
 // The cheapest non-trivial map: one multiply, one emit.
+template <typename P>
 class MulUdf final : public Udf {
  public:
   void OnRecord(const Record& r, Collector& out) override {
-    out.Emit(runtime::MakeRecord<int>(runtime::Get<int>(r) * 3, r.key));
+    out.Emit(runtime::MakeRecord<P>(
+        MakePayload<P>(PayloadValue<P>(runtime::Get<P>(r)) * 3), r.key));
   }
 };
 
@@ -105,6 +160,7 @@ struct Row {
   bool exact = false;    // delivered == emitted == records
   std::uint32_t restarts = 0;
   std::uint64_t redelivered = 0;
+  double allocs_per_record = -1;  // < 0: counting allocator not built in
 };
 
 struct FaultConfig {
@@ -113,6 +169,7 @@ struct FaultConfig {
   FailurePolicy policy = FailurePolicy::kRestartTask;
 };
 
+template <typename P>
 Row RunOnce(const char* name, ShippingStrategy shipping, int records,
             std::size_t queue_capacity, std::uint32_t batch_capacity,
             const FaultConfig& fc) {
@@ -138,20 +195,26 @@ Row RunOnce(const char* name, ShippingStrategy shipping, int records,
 
   LocalEngine engine(std::move(g), opts);
   engine.SetSource("Src", [records](std::uint32_t) {
-    return std::make_unique<BlastSource>(records);
+    return std::make_unique<BlastSource<P>>(records);
   });
-  engine.SetUdf("Map", [](std::uint32_t) { return std::make_unique<MulUdf>(); });
+  engine.SetUdf("Map", [](std::uint32_t) { return std::make_unique<MulUdf<P>>(); });
   engine.SetUdf("Snk", [](std::uint32_t) { return std::make_unique<NullSink>(); });
 
+  const std::uint64_t allocs_before = esp::TotalAllocs();
   const auto t0 = std::chrono::steady_clock::now();
   const EngineResult result = engine.Run(FromSeconds(120));
   const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs_after = esp::TotalAllocs();
 
   Row row;
   row.config = name;
   row.records = records;
   row.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
   row.rate = static_cast<double>(result.records_delivered) / row.elapsed_s;
+  if (esp::AllocCountingEnabled() && result.records_delivered > 0) {
+    row.allocs_per_record = static_cast<double>(allocs_after - allocs_before) /
+                            static_cast<double>(result.records_delivered);
+  }
   row.p50_ms = result.latency.Quantile(0.5) * 1e3;
   row.p99_ms = result.latency.Quantile(0.99) * 1e3;
   row.restarts = result.restarts;
@@ -172,6 +235,22 @@ Row RunOnce(const char* name, ShippingStrategy shipping, int records,
   return row;
 }
 
+// Runs all three shipping strategies with the payload class P.
+template <typename P>
+std::vector<Row> RunAll(int records, int queue, int batch, const FaultConfig& fc) {
+  std::vector<Row> rows;
+  rows.push_back(RunOnce<P>("instant", esp::ShippingStrategy::kInstantFlush, records,
+                            static_cast<std::size_t>(queue),
+                            static_cast<std::uint32_t>(batch), fc));
+  rows.push_back(RunOnce<P>("fixed", esp::ShippingStrategy::kFixedBuffer, records,
+                            static_cast<std::size_t>(queue),
+                            static_cast<std::uint32_t>(batch), fc));
+  rows.push_back(RunOnce<P>("adaptive", esp::ShippingStrategy::kAdaptive, records,
+                            static_cast<std::size_t>(queue),
+                            static_cast<std::uint32_t>(batch), fc));
+  return rows;
+}
+
 }  // namespace
 }  // namespace esp::bench
 
@@ -181,6 +260,7 @@ int main(int argc, char** argv) {
   const int records = ArgInt(argc, argv, "--records", 300'000);
   const int queue = ArgInt(argc, argv, "--queue", 1024);
   const int batch = ArgInt(argc, argv, "--batch", 64);
+  const int payload_size = ArgInt(argc, argv, "--payload-size", 8);
 
   FaultConfig fc;
   fc.seed = static_cast<std::uint64_t>(ArgInt(argc, argv, "--seed", 1));
@@ -188,41 +268,79 @@ int main(int argc, char** argv) {
   fc.policy = ParsePolicy(ArgStr(argc, argv, "--policy", "restart-task"));
 
   Section("micro_engine: 1-source/1-map/1-sink, trivial UDFs, full blast");
-  std::printf("records=%d queue_capacity=%d batch_capacity=%d seed=%llu\n", records,
-              queue, batch, static_cast<unsigned long long>(fc.seed));
+  std::printf("records=%d queue_capacity=%d batch_capacity=%d payload_size=%d (%s) "
+              "seed=%llu\n",
+              records, queue, batch, payload_size,
+              payload_size <= 24 ? "inline" : "boxed",
+              static_cast<unsigned long long>(fc.seed));
   if (fc.fail_at > 0) {
     std::printf("fault: Map[0] throws at record %d, policy=%s\n", fc.fail_at,
                 ArgStr(argc, argv, "--policy", "restart-task"));
   }
 
   std::vector<Row> rows;
-  rows.push_back(RunOnce("instant", esp::ShippingStrategy::kInstantFlush, records,
-                         queue, batch, fc));
-  rows.push_back(RunOnce("fixed", esp::ShippingStrategy::kFixedBuffer, records, queue,
-                         batch, fc));
-  rows.push_back(RunOnce("adaptive", esp::ShippingStrategy::kAdaptive, records, queue,
-                         batch, fc));
+  switch (payload_size) {
+    case 8:
+      rows = RunAll<int>(records, queue, batch, fc);
+      break;
+    case 24:
+      rows = RunAll<Payload24>(records, queue, batch, fc);
+      break;
+    case 64:
+      rows = RunAll<Payload64>(records, queue, batch, fc);
+      break;
+    default:
+      std::fprintf(stderr, "unknown --payload-size %d (want 8, 24 or 64)\n",
+                   payload_size);
+      return 2;
+  }
 
-  std::printf("#%11s %10s %10s %12s %12s %12s %6s %8s %8s\n", "config", "records",
-              "time[s]", "records/s", "p50[ms]", "p99[ms]", "exact", "restarts",
-              "redeliv");
+  std::printf("#%11s %10s %10s %12s %12s %12s %6s %8s %8s %10s\n", "config",
+              "records", "time[s]", "records/s", "p50[ms]", "p99[ms]", "exact",
+              "restarts", "redeliv", "allocs/rec");
   for (const Row& r : rows) {
-    std::printf("%12s %10d %10.3f %12.0f %12.3f %12.3f %6s %8u %8llu\n",
+    char allocs[32];
+    if (r.allocs_per_record >= 0) {
+      std::snprintf(allocs, sizeof(allocs), "%10.4f", r.allocs_per_record);
+    } else {
+      std::snprintf(allocs, sizeof(allocs), "%10s", "n/a");
+    }
+    std::printf("%12s %10d %10.3f %12.0f %12.3f %12.3f %6s %8u %8llu %s\n",
                 r.config.c_str(), r.records, r.elapsed_s, r.rate, r.p50_ms, r.p99_ms,
                 r.exact ? "yes" : "NO", r.restarts,
-                static_cast<unsigned long long>(r.redelivered));
+                static_cast<unsigned long long>(r.redelivered), allocs);
   }
 
   if (HasFlag(argc, argv, "--tsv")) {
     std::ofstream out("micro_engine.tsv");
     out << "config\trecords\ttime_s\trecords_per_s\tp50_ms\tp99_ms\texact\trestarts"
-           "\tredelivered\n";
+           "\tredelivered\tallocs_per_record\n";
     for (const Row& r : rows) {
       out << r.config << '\t' << r.records << '\t' << r.elapsed_s << '\t' << r.rate
           << '\t' << r.p50_ms << '\t' << r.p99_ms << '\t' << (r.exact ? 1 : 0) << '\t'
-          << r.restarts << '\t' << r.redelivered << '\n';
+          << r.restarts << '\t' << r.redelivered << '\t' << r.allocs_per_record
+          << '\n';
     }
     std::printf("wrote micro_engine.tsv\n");
+  }
+
+  if (HasFlag(argc, argv, "--json")) {
+    // Machine-readable result for the CI perf-smoke job.
+    std::ofstream out("BENCH_micro_engine.json");
+    out << "{\n  \"bench\": \"micro_engine\",\n  \"records\": " << records
+        << ",\n  \"payload_size\": " << payload_size
+        << ",\n  \"alloc_counting\": " << (esp::AllocCountingEnabled() ? "true" : "false")
+        << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"config\": \"" << r.config << "\", \"records_per_s\": " << r.rate
+          << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+          << ", \"exact\": " << (r.exact ? "true" : "false")
+          << ", \"allocs_per_record\": " << r.allocs_per_record << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote BENCH_micro_engine.json\n");
   }
 
   bool all_exact = true;

@@ -36,6 +36,9 @@ class TweetSource final : public SourceFunction {
     Tweet tweet = generator_.Next(0);
     const std::uint64_t topic = tweet.topic;
     // Each tweet is forwarded twice (paper): to Filter and to HotTopics.
+    // Tweet holds a std::string, so this record is BOXED (one allocation
+    // here, refcounted aliasing after): both downstream copies share the
+    // same payload instead of duplicating the text.
     auto record = MakeRecord<Tweet>(std::move(tweet), topic, kTagTweet);
     out.Emit(record, 0);
     out.Emit(record, 1);
@@ -104,6 +107,8 @@ class FilterUdf final : public Udf {
   std::unordered_set<std::uint64_t> hot_;
 };
 
+// Trivially copyable and ≤ 24 bytes: stored INLINE in the Record itself
+// (runtime/record.h SBO) — the sentiment stage emits without allocating.
 struct ScoredTweet {
   std::uint64_t topic;
   Sentiment sentiment;

@@ -26,6 +26,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== Alloc-counted Release build: zero-alloc regression tests =="
+cmake -B build-alloc -S . -DCMAKE_BUILD_TYPE=Release -DESP_COUNT_ALLOCS=ON >/dev/null
+cmake --build build-alloc -j "$JOBS" --target runtime_test
+./build-alloc/tests/runtime_test --gtest_filter='AllocCounting.*'
+
 echo "== ThreadSanitizer build of runtime_test =="
 cmake -B build-tsan -S . -DESP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target runtime_test

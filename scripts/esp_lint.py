@@ -20,6 +20,12 @@ unbounded-queue      Runtime code (src/runtime/) must not build unbounded
                      FIFOs (std::deque / std::queue / std::list as a channel).
                      Backpressure is load-bearing: the paper's latency model
                      assumes bounded buffers.
+hot-path-alloc       The per-record hot path (src/runtime/record.h,
+                     src/runtime/queue.h) must not introduce heap allocation:
+                     no operator new, std::make_shared / std::make_unique.
+                     The zero-alloc steady state is a measured invariant
+                     (AllocCounting tests); the single sanctioned boxing path
+                     carries an explicit allow.
 bare-nolint          Every NOLINT marker must carry a specific check name and
                      a reason: NOLINT(<check>) followed by an explanation on
                      the same line.
@@ -57,6 +63,13 @@ UNSEEDED_RNG_RE = re.compile(
     r"|\bRng\s+\w+\s*\{\s*\}"
 )
 UNBOUNDED_QUEUE_RE = re.compile(r"std::(deque|queue|list)\s*<")
+# Heap `new Type` / make_shared / make_unique; deliberately does NOT match
+# placement new (`new (ptr) Type`), which constructs in existing storage.
+HOT_PATH_ALLOC_RE = re.compile(r"std::make_(shared|unique)\s*<|\bnew\s+[A-Za-z_:]")
+HOT_PATH_FILES = {
+    Path("src/runtime/record.h"),
+    Path("src/runtime/queue.h"),
+}
 NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?(?P<rest>.*)")
 NOLINT_OK_RE = re.compile(r"^\((?P<checks>[\w\-.,*]+)\)\s*(?P<reason>\S.*)?$")
 
@@ -143,6 +156,12 @@ def main() -> int:
                 report("unbounded-queue",
                        "unbounded FIFO in runtime code; channels must be "
                        "bounded (BoundedQueue) for backpressure")
+
+            if rel in HOT_PATH_FILES and HOT_PATH_ALLOC_RE.search(code):
+                report("hot-path-alloc",
+                       "heap allocation on the per-record hot path; the "
+                       "zero-alloc steady state is a measured invariant "
+                       "(AllocCounting tests)")
 
             if comment_pos >= 0:
                 nolint = NOLINT_RE.search(line[comment_pos:])

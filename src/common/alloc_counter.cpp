@@ -1,0 +1,89 @@
+#include "common/alloc_counter.h"
+
+#ifdef ESP_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0) return nullptr;
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+namespace esp {
+bool AllocCountingEnabled() { return true; }
+std::uint64_t TotalAllocs() { return g_allocs.load(std::memory_order_relaxed); }
+std::uint64_t TotalFrees() { return g_frees.load(std::memory_order_relaxed); }
+}  // namespace esp
+
+// Global allocator replacement: every form forwards to the counted malloc
+// wrappers above.  Scalar/array and aligned variants share counters -- the
+// consumers only care about "number of heap round trips".
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  if (void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(al))) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  if (void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(al))) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { CountedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { CountedFree(p); }
+
+#else  // !ESP_COUNT_ALLOCS
+
+namespace esp {
+bool AllocCountingEnabled() { return false; }
+std::uint64_t TotalAllocs() { return 0; }
+std::uint64_t TotalFrees() { return 0; }
+}  // namespace esp
+
+#endif  // ESP_COUNT_ALLOCS

@@ -1,0 +1,32 @@
+// Heap-allocation observability for perf work.
+//
+// When the build defines ESP_COUNT_ALLOCS (cmake -DESP_COUNT_ALLOCS=ON),
+// alloc_counter.cpp replaces the global operator new/delete family with
+// thin malloc wrappers that bump process-wide relaxed counters.  The
+// zero-allocation regression tests and `bench/micro_engine`'s allocs/record
+// column read them; in the default build the probes below compile to
+// constants and the allocator is untouched.
+//
+// The counters are process-wide (every thread, every subsystem), so
+// "allocation-free" claims are asserted either over a single-threaded
+// warmed-up loop (exact zero) or as a marginal cost between two run sizes
+// (per-record delta ~ 0) -- never as an absolute for a whole engine run,
+// which legitimately allocates on cold starts and control ticks.
+#pragma once
+
+#include <cstdint>
+
+namespace esp {
+
+/// True when the build counts heap allocations (ESP_COUNT_ALLOCS).
+bool AllocCountingEnabled();
+
+/// Process-wide number of operator-new calls since start.  Always 0 when
+/// counting is disabled.
+std::uint64_t TotalAllocs();
+
+/// Process-wide number of operator-delete calls since start.  Always 0
+/// when counting is disabled.
+std::uint64_t TotalFrees();
+
+}  // namespace esp

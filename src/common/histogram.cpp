@@ -8,7 +8,10 @@
 namespace esp {
 
 LogHistogram::LogHistogram(double min_value, double base, std::size_t max_buckets)
-    : min_value_(min_value), log_base_(std::log(base)), max_buckets_(max_buckets) {
+    : min_value_(min_value),
+      log_base_(std::log(base)),
+      inv_log_base_(1.0 / std::log(base)),
+      max_buckets_(max_buckets) {
   if (min_value <= 0) throw std::invalid_argument("LogHistogram: min_value must be > 0");
   if (base <= 1.0) throw std::invalid_argument("LogHistogram: base must be > 1");
   if (max_buckets < 2) throw std::invalid_argument("LogHistogram: need >= 2 buckets");
@@ -17,7 +20,7 @@ LogHistogram::LogHistogram(double min_value, double base, std::size_t max_bucket
 
 std::size_t LogHistogram::BucketFor(double x) const {
   if (x <= min_value_) return 0;
-  const double idx = std::log(x / min_value_) / log_base_;
+  const double idx = std::log(x / min_value_) * inv_log_base_;
   const std::size_t i = static_cast<std::size_t>(idx) + 1;
   return std::min(i, max_buckets_ - 1);
 }
@@ -29,7 +32,21 @@ double LogHistogram::BucketLowerEdge(std::size_t i) const {
 
 void LogHistogram::Add(double x) {
   if (x < 0 || !std::isfinite(x)) return;  // ignore invalid observations
-  const std::size_t i = BucketFor(x);
+  std::size_t i;
+  if (x >= memo_min_ && x <= memo_max_) {
+    // Memo hit: x lies between two values already classified into
+    // memo_bucket_, and BucketFor is monotone, so the answer is exact.
+    i = memo_bucket_;
+  } else {
+    i = BucketFor(x);
+    if (i == memo_bucket_ && memo_min_ <= memo_max_) {
+      memo_min_ = std::min(memo_min_, x);
+      memo_max_ = std::max(memo_max_, x);
+    } else {
+      memo_bucket_ = i;
+      memo_min_ = memo_max_ = x;
+    }
+  }
   if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
   ++buckets_[i];
   ++count_;

@@ -47,11 +47,21 @@ class LogHistogram {
 
   double min_value_;
   double log_base_;
+  double inv_log_base_;
   std::size_t max_buckets_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double max_seen_ = 0.0;
+
+  // Last-bucket memo: the range of values OBSERVED to map to memo_bucket_.
+  // BucketFor is monotone in x, so any x inside [memo_min_, memo_max_] is
+  // guaranteed to land in the same bucket -- Add skips the std::log for the
+  // common case of successive near-identical observations (e.g. steady-state
+  // latencies).  Exactness does not depend on recomputing bucket edges.
+  std::size_t memo_bucket_ = 0;
+  double memo_min_ = 1.0;
+  double memo_max_ = -1.0;  // empty range until the first Add
 };
 
 }  // namespace esp

@@ -104,7 +104,15 @@ double Rng::Gamma(double shape, double scale) {
   }
 }
 
-bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+bool Rng::Bernoulli(double p) {
+  // Degenerate probabilities short-circuit without advancing the stream:
+  // NextDouble() is in [0, 1), so the outcome is already determined, and the
+  // hot samplers run with p = 1.0 by default (every draw would be a wasted
+  // xoshiro step).
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  return NextDouble() < p;
+}
 
 std::uint64_t Rng::Zipf(std::uint64_t n, double s) {
   if (n == 0) throw std::invalid_argument("Zipf: n must be >= 1");

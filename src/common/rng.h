@@ -51,7 +51,8 @@ class Rng {
   /// Gamma variate with shape k and scale theta (Marsaglia-Tsang).
   double Gamma(double shape, double scale);
 
-  /// Returns true with probability p.
+  /// Returns true with probability p.  Degenerate probabilities (p <= 0,
+  /// p >= 1) are answered without consuming generator state.
   bool Bernoulli(double p);
 
   /// Zipf-distributed integer in [1, n] with exponent s > 1 (Devroye's

@@ -13,8 +13,21 @@ namespace esp {
 /// Online mean/variance accumulator (Welford).  All operations are O(1).
 class RunningStats {
  public:
-  /// Adds one observation.
-  void Add(double x);
+  /// Adds one observation.  Defined inline: this is the innermost call of
+  /// every per-record metric path (millions of calls per second in the
+  /// local runtime's samplers).
+  void Add(double x) {
+    if (count_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = x < min_ ? x : min_;
+      max_ = x > max_ ? x : max_;
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
 
   /// Merges another accumulator into this one (parallel Welford), used when
   /// QoS managers fold task-level stats into partial summaries.

@@ -5,22 +5,6 @@ namespace esp {
 TaskSampler::TaskSampler(double latency_sample_probability, std::uint64_t rng_seed)
     : sample_probability_(latency_sample_probability), rng_(rng_seed) {}
 
-void TaskSampler::RecordArrival(SimTime t) {
-  if (last_arrival_ >= 0) {
-    interarrival_.Add(ToSeconds(t - last_arrival_));
-  }
-  last_arrival_ = t;
-  ++items_;
-}
-
-void TaskSampler::RecordServiceTime(double seconds) { service_.Add(seconds); }
-
-void TaskSampler::OfferTaskLatency(double seconds) {
-  if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
-    latency_.Add(seconds);
-  }
-}
-
 TaskMeasurement TaskSampler::Harvest() {
   TaskMeasurement m;
   m.task_latency = latency_.Mean();
@@ -38,18 +22,6 @@ TaskMeasurement TaskSampler::Harvest() {
 
 ChannelSampler::ChannelSampler(double latency_sample_probability, std::uint64_t rng_seed)
     : sample_probability_(latency_sample_probability), rng_(rng_seed) {}
-
-void ChannelSampler::OfferChannelLatency(double seconds) {
-  if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
-    channel_latency_.Add(seconds);
-  }
-}
-
-void ChannelSampler::OfferOutputBatchLatency(double seconds) {
-  if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
-    batch_latency_.Add(seconds);
-  }
-}
 
 ChannelMeasurement ChannelSampler::Harvest() {
   ChannelMeasurement m;

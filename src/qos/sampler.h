@@ -23,17 +23,30 @@ class TaskSampler {
   explicit TaskSampler(double latency_sample_probability = 1.0,
                        std::uint64_t rng_seed = 1);
 
+  // The per-item recorders below are defined inline: they sit on the
+  // runtime's per-record metric path (millions of calls per second).
+
   /// Records that the task consumed an item at time `t`; maintains the
   /// inter-arrival statistics A_v.
-  void RecordArrival(SimTime t);
+  void RecordArrival(SimTime t) {
+    if (last_arrival_ >= 0) {
+      interarrival_.Add(ToSeconds(t - last_arrival_));
+    }
+    last_arrival_ = t;
+    ++items_;
+  }
 
   /// Records how long the task was busy with one item (service time S_v),
   /// in seconds.
-  void RecordServiceTime(double seconds);
+  void RecordServiceTime(double seconds) { service_.Add(seconds); }
 
   /// Offers a task-latency observation (read-ready or read-write, chosen by
   /// the UDF); it is kept with the configured sampling probability.
-  void OfferTaskLatency(double seconds);
+  void OfferTaskLatency(double seconds) {
+    if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
+      latency_.Add(seconds);
+    }
+  }
 
   /// Returns the interval's aggregate measurement and resets interval state.
   /// Inter-arrival tracking continues across intervals (the previous arrival
@@ -60,10 +73,18 @@ class ChannelSampler {
                           std::uint64_t rng_seed = 1);
 
   /// Offers an emit-to-consume latency observation (l_e), in seconds.
-  void OfferChannelLatency(double seconds);
+  void OfferChannelLatency(double seconds) {
+    if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
+      channel_latency_.Add(seconds);
+    }
+  }
 
   /// Offers an output-batch wait observation (obl_e), in seconds.
-  void OfferOutputBatchLatency(double seconds);
+  void OfferOutputBatchLatency(double seconds) {
+    if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
+      batch_latency_.Add(seconds);
+    }
+  }
 
   /// Counts one item shipped through the channel.
   void CountItem() { ++items_; }

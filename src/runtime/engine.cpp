@@ -31,6 +31,11 @@ struct LocalEngine::Channel {
 
   Mutex mutex;
   std::vector<Envelope> buffer ESP_GUARDED_BY(mutex);
+  // Recycled batch storage: when a flush swaps `buffer` out, `spare` (the
+  // empty-but-with-capacity vector DeliverBatch got back from the consumer
+  // queue's chunk pool on the previous flush) swaps in, so the next Append
+  // starts with capacity instead of allocating.
+  std::vector<Envelope> spare ESP_GUARDED_BY(mutex);
   ChannelSampler sampler ESP_GUARDED_BY(mutex){1.0, 1};
   // Written under mutex, read lock-free: FlushExpired's not-due pre-check
   // (0 = buffer empty) and Append's deadline test.  The deadline caches
@@ -97,12 +102,18 @@ class LocalEngine::RoutingCollector final : public Collector {
  public:
   RoutingCollector(LocalEngine* engine, LocalTask* task) : engine_(engine), task_(task) {}
 
+  /// TaskLoopBody lends Emit the timestamp it already read for the current
+  /// record (0 = none); the emission path then skips its own clock read.
+  /// The hint is at most one UDF invocation old, far below the microsecond+
+  /// granularity of the batching deadlines and latency metrics it feeds.
+  void SetNowHint(std::int64_t now_ns) { now_hint_ns_ = now_ns; }
+
   void Emit(Record record, std::uint32_t output_index) override {
     if (output_index >= task_->outputs.size()) {
       throw std::out_of_range("Collector::Emit: bad output index in '" +
                               task_->vertex_name + "'");
     }
-    const std::int64_t now = engine_->NowNs();
+    const std::int64_t now = now_hint_ns_ != 0 ? now_hint_ns_ : engine_->NowNs();
     if (record.source_emit_ns == 0) record.source_emit_ns = now;
     ++emitted_;
 
@@ -135,6 +146,7 @@ class LocalEngine::RoutingCollector final : public Collector {
   LocalEngine* engine_;
   LocalTask* task_;
   std::uint64_t emitted_ = 0;
+  std::int64_t now_hint_ns_ = 0;
 };
 
 // ------------------------------------------------------------ construction
@@ -199,7 +211,12 @@ void LocalEngine::Append(Channel& channel, Record record, std::int64_t now) {
   {
     MutexLock lock(channel.mutex);
     if (channel.buffer.empty()) {
-      if (options_.shipping != ShippingStrategy::kInstantFlush) {
+      // Steady state the buffer already carries recycled capacity (spare
+      // cycling); the reserve only fires on the cold start of a channel.
+      // Instant flush relies on it too: the reserved capacity sizes the
+      // queue's coalesced tail chunks, closing the recycling cycle for
+      // one-envelope batches.
+      if (channel.buffer.capacity() == 0) {
         channel.buffer.reserve(options_.batch_capacity);
       }
       channel.first_entry_ns.store(now, std::memory_order_relaxed);
@@ -231,10 +248,11 @@ void LocalEngine::Append(Channel& channel, Record record, std::int64_t now) {
         channel.sampler.CountItem();
       }
       flushed.swap(channel.buffer);
+      channel.buffer.swap(channel.spare);  // recharge with recycled capacity
       channel.first_entry_ns.store(0, std::memory_order_relaxed);
     }
   }
-  if (!flushed.empty()) DeliverBatch(channel, std::move(flushed));
+  if (!flushed.empty()) DeliverBatch(channel, flushed);
 }
 
 void LocalEngine::FlushChannel(Channel& channel, bool force) {
@@ -264,12 +282,13 @@ void LocalEngine::FlushChannel(Channel& channel, bool force) {
       channel.sampler.CountItem();
     }
     flushed.swap(channel.buffer);
+    channel.buffer.swap(channel.spare);  // recharge with recycled capacity
     channel.first_entry_ns.store(0, std::memory_order_relaxed);
   }
-  DeliverBatch(channel, std::move(flushed));
+  DeliverBatch(channel, flushed);
 }
 
-void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>&& batch) {
+void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>& batch) {
   // Injected delivery delay (slow link / GC pause).  `fault.delay` is bound
   // before the epoch's threads start and never reassigned, so this
   // producer-side read is race-free; the null check is the entire cost when
@@ -278,8 +297,15 @@ void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>&& batch) 
   if (delay != nullptr && delay->TryConsume()) {
     std::this_thread::sleep_for(nanoseconds(delay->duration));
   }
-  // Blocking push: this is the backpressure path.
-  channel.consumer->queue->PushAll(std::move(batch));
+  // Blocking push: this is the backpressure path.  The lvalue overload
+  // recharges `batch` from the consumer queue's spent-chunk pool; park that
+  // capacity in the channel's spare buffer so the next flush cycle reuses
+  // it.  (The spare may legitimately be occupied -- e.g. a control-thread
+  // force-flush raced a task-thread flush -- then the chunk is just freed.)
+  channel.consumer->queue->PushAll(batch);
+  if (batch.capacity() == 0) return;
+  MutexLock lock(channel.mutex);
+  if (channel.spare.capacity() == 0) channel.spare = std::move(batch);
 }
 
 void LocalEngine::FlushExpired(LocalTask* task) {
@@ -501,13 +527,16 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
         if (task->fault.has_record_faults()) {
           task->fault.TickRecord(task->vertex_name, task->id.subtask);
         }
+        collector.SetNowHint(t_prev);  // Emit reuses this read, skips its own
         task->udf->OnRecord(batch[i].record, collector);
         t_prev = NowNs();
         end_ns[i] = t_prev;
         emitted_any[i] = collector.TakeEmitted() > 0;
         processed = i + 1;
       }
+      collector.SetNowHint(0);  // timer/close emissions read a fresh clock
     } catch (...) {
+      collector.SetNowHint(0);
       post_batch_metrics(processed);
       task->salvage.assign(std::make_move_iterator(batch.begin() +
                                                    static_cast<std::ptrdiff_t>(processed)),

@@ -153,11 +153,19 @@ class LocalEngine {
   const JobGraph& graph() const { return graph_; }
 
  private:
+  // The unit the batch buffers, queues and salvage paths move around.
+  // Layout matters: Record's 48-byte budget plus the two routing fields
+  // packs one envelope per 64-byte cache line (asserted in engine.cpp).
   struct Envelope {
     Record record;
     std::int64_t channel_emit_ns = 0;
     std::uint32_t channel = 0;  // dense channel index (per epoch)
   };
+  // A padding regression (e.g. a field added in the wrong place) fails the
+  // build instead of quietly growing every queue slot and batch buffer.
+  static_assert(sizeof(Envelope) <= 64,
+                "Envelope outgrew one cache line; check Record/field packing");
+  static_assert(alignof(Envelope) == 8);
 
   struct Channel;     // output batcher + consumer queue binding
   struct LocalTask;   // task state + thread
@@ -175,7 +183,11 @@ class LocalEngine {
   void Append(Channel& channel, Record record, std::int64_t now);
   void FlushExpired(LocalTask* task);
   void FlushChannel(Channel& channel, bool force);
-  void DeliverBatch(Channel& channel, std::vector<Envelope>&& batch);
+  /// Ships a flushed batch to the consumer's queue.  On return `batch` is
+  /// empty but recharged with recycled capacity (from the queue's spent-
+  /// chunk pool), which is parked in the channel's spare buffer for the
+  /// next flush -- the steady-state hand-off allocates nothing.
+  void DeliverBatch(Channel& channel, std::vector<Envelope>& batch);
   void CloseDownstream(LocalTask* task);
   void ControlTick();
   void HarvestTaskMetrics(LocalTask* task);

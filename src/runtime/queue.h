@@ -17,6 +17,14 @@
 //     mutex makes the "skip notify" decisions race-free: a waiter registers
 //     itself before releasing the lock, so a notifier holding the lock
 //     either sees it or runs before the wait.
+//   * Chunk storage is RECYCLED: a spent chunk (its items handed to the
+//     consumer) parks in a small free pool instead of being freed, and the
+//     lvalue PushAll overload recharges the producer's vector from that
+//     pool.  Capacity thus cycles producer -> chunk -> pool -> producer,
+//     the chunk FIFO itself is a ring (no deque map-node churn), and small
+//     pushes coalesce into the tail chunk's spare capacity, so the
+//     steady-state batch hand-off performs no heap allocation at all --
+//     even for one-envelope (instant flush) batches.
 //
 // Every mutable field is ESP_GUARDED_BY(mutex_): the lock discipline here is
 // a compiler-checked contract (-Werror=thread-safety), not a comment.
@@ -24,7 +32,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -48,36 +55,15 @@ class BoundedQueue {
   /// capacity is admitted once the queue is empty (no deadlock on oversize
   /// batches).
   bool PushAll(std::vector<T>&& items) ESP_EXCLUDES(mutex_) {
-    if (items.empty()) return !closed();  // never store empty chunks
-    MutexLock lock(mutex_);
-    ++waiting_producers_;
-    min_waiting_batch_ = std::min(min_waiting_batch_, items.size());
-    while (!closed_ && size_ != 0 && size_ + items.size() > capacity_) {
-      not_full_.Wait(lock);
-    }
-    --waiting_producers_;
-    // min_waiting_batch_ may be stale (smaller than any remaining waiter's
-    // batch) until the last waiter leaves; that only causes a spurious
-    // notify, never a missed one.
-    if (waiting_producers_ == 0) min_waiting_batch_ = kNoWaiter;
-    if (closed_) return false;
-    const std::size_t n = items.size();
-    size_ += n;
-    chunks_.push_back(std::move(items));
-    items.clear();  // leave the moved-from argument in a defined state
-    if (waiting_consumers_ > 0) {
-      // A batch can satisfy several parked consumers; waking just one would
-      // strand the rest until the next push (or Close).
-      if (n > 1 && waiting_consumers_ > 1) {
-        not_empty_.NotifyAll();
-      } else {
-        not_empty_.NotifyOne();
-      }
-    }
-    // Chain to the next parked producer if its batch might still fit; it
-    // re-checks its own predicate and goes back to sleep otherwise.
-    if (waiting_producers_ > 0 && size_ < capacity_) not_full_.NotifyOne();
-    return true;
+    return PushImpl(items, /*recycle=*/false);
+  }
+
+  /// Recycling overload for steady-state producers: identical admission
+  /// semantics, but on return `items` is an EMPTY vector recharged with
+  /// capacity from the spent-chunk pool (when one is available), so the
+  /// caller's next batch needs no fresh allocation.
+  bool PushAll(std::vector<T>& items) ESP_EXCLUDES(mutex_) {
+    return PushImpl(items, /*recycle=*/true);
   }
 
   /// Pops one item, waiting up to `timeout`.  Empty optional on timeout or
@@ -89,11 +75,12 @@ class BoundedQueue {
                           std::atomic<bool>* mark_busy = nullptr) ESP_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
     if (!WaitNotEmpty(lock, timeout)) return std::nullopt;
-    std::optional<T> item = std::move(chunks_.front()[front_pos_]);
+    std::optional<T> item = std::move(ChunkFront()[front_pos_]);
     ++front_pos_;
     --size_;
-    if (front_pos_ == chunks_.front().size()) {
-      chunks_.pop_front();
+    if (front_pos_ == ChunkFront().size()) {
+      RecycleChunk(std::move(ChunkFront()));
+      PopFrontChunk();
       front_pos_ = 0;
     }
     if (mark_busy != nullptr) mark_busy->store(true);
@@ -112,23 +99,29 @@ class BoundedQueue {
     MutexLock lock(mutex_);
     if (!WaitNotEmpty(lock, timeout)) return 0;
     std::size_t n = 0;
-    // Fast path: hand the front chunk over wholesale.
-    if (front_pos_ == 0 && chunks_.front().size() <= max_items) {
-      out.swap(chunks_.front());
-      chunks_.pop_front();
+    // Fast path: hand the front chunk over wholesale.  The swap donates the
+    // consumer's previous batch storage to the chunk slot, which then parks
+    // in the free pool for the next producer.
+    if (front_pos_ == 0 && ChunkFront().size() <= max_items) {
+      out.swap(ChunkFront());
+      RecycleChunk(std::move(ChunkFront()));
+      PopFrontChunk();
       n = out.size();
     }
-    // Drain further whole/partial chunks up to max_items.
-    while (n < max_items && !chunks_.empty()) {
-      std::vector<T>& front = chunks_.front();
+    // Drain further whole/partial chunks up to max_items (bulk move-insert,
+    // not per-item push_back: one capacity check + one element loop inside
+    // the library instead of N push_back calls).
+    while (n < max_items && !ChunksEmpty()) {
+      std::vector<T>& front = ChunkFront();
       const std::size_t take = std::min(front.size() - front_pos_, max_items - n);
-      for (std::size_t i = 0; i < take; ++i) {
-        out.push_back(std::move(front[front_pos_ + i]));
-      }
+      const auto begin = front.begin() + static_cast<std::ptrdiff_t>(front_pos_);
+      out.insert(out.end(), std::make_move_iterator(begin),
+                 std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(take)));
       front_pos_ += take;
       n += take;
       if (front_pos_ == front.size()) {
-        chunks_.pop_front();
+        RecycleChunk(std::move(front));
+        PopFrontChunk();
         front_pos_ = 0;
       }
     }
@@ -148,12 +141,12 @@ class BoundedQueue {
     // Normalise the partially consumed front chunk so chunk boundaries stay
     // aligned with front_pos_ == 0.
     if (front_pos_ > 0) {
-      std::vector<T>& front = chunks_.front();
+      std::vector<T>& front = ChunkFront();
       front.erase(front.begin(), front.begin() + static_cast<std::ptrdiff_t>(front_pos_));
       front_pos_ = 0;
     }
     size_ += items.size();
-    chunks_.push_front(std::move(items));
+    PushFrontChunk(std::move(items));
     if (waiting_consumers_ > 0) not_empty_.NotifyAll();
   }
 
@@ -163,12 +156,13 @@ class BoundedQueue {
   std::vector<T> DrainAll() ESP_EXCLUDES(mutex_) {
     std::vector<T> out;
     MutexLock lock(mutex_);
-    while (!chunks_.empty()) {
-      std::vector<T>& front = chunks_.front();
-      for (std::size_t i = front_pos_; i < front.size(); ++i) {
-        out.push_back(std::move(front[i]));
-      }
-      chunks_.pop_front();
+    out.reserve(size_);
+    while (!ChunksEmpty()) {
+      std::vector<T>& front = ChunkFront();
+      const auto begin = front.begin() + static_cast<std::ptrdiff_t>(front_pos_);
+      out.insert(out.end(), std::make_move_iterator(begin),
+                 std::make_move_iterator(front.end()));
+      PopFrontChunk();
       front_pos_ = 0;
     }
     size_ = 0;
@@ -200,6 +194,74 @@ class BoundedQueue {
   }
 
  private:
+  /// Shared body of both PushAll overloads.  With `recycle`, `items` is
+  /// recharged from the spent-chunk pool after its contents move in; the
+  /// rvalue overload skips that (the argument is about to die, handing it
+  /// pooled capacity would leak the capacity out of the cycle).
+  bool PushImpl(std::vector<T>& items, bool recycle) ESP_EXCLUDES(mutex_) {
+    if (items.empty()) return !closed();  // never store empty chunks
+    MutexLock lock(mutex_);
+    ++waiting_producers_;
+    min_waiting_batch_ = std::min(min_waiting_batch_, items.size());
+    while (!closed_ && size_ != 0 && size_ + items.size() > capacity_) {
+      not_full_.Wait(lock);
+    }
+    --waiting_producers_;
+    // min_waiting_batch_ may be stale (smaller than any remaining waiter's
+    // batch) until the last waiter leaves; that only causes a spurious
+    // notify, never a missed one.
+    if (waiting_producers_ == 0) min_waiting_batch_ = kNoWaiter;
+    if (closed_) return false;
+    const std::size_t n = items.size();
+    size_ += n;
+    // Coalesce into the tail chunk when it has room WITHOUT reallocating:
+    // instant-flush producers push one-envelope batches, and storing each as
+    // its own chunk would cycle ring slots faster than the bounded pool can
+    // return their storage (the capacity cycle would leak and every push
+    // would allocate).  Appending preserves FIFO order and leaves the
+    // producer's storage in place, so no recharge is needed either.
+    bool stored = false;
+    if (ring_count_ > 0) {
+      std::vector<T>& tail = ring_[(ring_head_ + ring_count_ - 1) & (ring_.size() - 1)];
+      if (tail.capacity() - tail.size() >= n) {
+        tail.insert(tail.end(), std::make_move_iterator(items.begin()),
+                    std::make_move_iterator(items.end()));
+        items.clear();
+        stored = true;
+      }
+    }
+    if (!stored) {
+      PushBackChunk(std::move(items));
+      items.clear();  // leave the moved-from argument in a defined state
+      if (recycle && !pool_.empty()) {
+        items = std::move(pool_.back());
+        pool_.pop_back();
+      }
+    }
+    if (waiting_consumers_ > 0) {
+      // A batch can satisfy several parked consumers; waking just one would
+      // strand the rest until the next push (or Close).
+      if (n > 1 && waiting_consumers_ > 1) {
+        not_empty_.NotifyAll();
+      } else {
+        not_empty_.NotifyOne();
+      }
+    }
+    // Chain to the next parked producer if its batch might still fit; it
+    // re-checks its own predicate and goes back to sleep otherwise.
+    if (waiting_producers_ > 0 && size_ < capacity_) not_full_.NotifyOne();
+    return true;
+  }
+
+  /// Parks a spent chunk's storage in the free pool (bounded; overflow and
+  /// capacity-less chunks are simply freed).  The chunk may still hold
+  /// moved-from elements -- clear() destroys them before pooling.
+  void RecycleChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) {
+    if (chunk.capacity() == 0 || pool_.size() >= kMaxPooledChunks) return;
+    chunk.clear();
+    pool_.push_back(std::move(chunk));
+  }
+
   /// Waits for an item or close; true iff an item is available.  `lock`
   /// must hold mutex_.
   bool WaitNotEmpty(MutexLock& lock, std::chrono::nanoseconds timeout)
@@ -232,22 +294,75 @@ class BoundedQueue {
     }
   }
 
+  // ---- chunk FIFO -------------------------------------------------------
+  // The chunk list is a power-of-two ring over recyclable vector slots
+  // rather than a std::deque: a deque walks through its 512-byte map nodes
+  // as chunks cycle, costing an allocation every ~20 batches -- which is
+  // exactly the steady-state heap traffic this queue exists to eliminate
+  // (the zero-allocation regression test catches it).  Slots hand their
+  // storage out by move and are refilled by move, so ring slots never free
+  // or allocate element storage after the ring itself is sized.
+
+  std::vector<T>& ChunkFront() ESP_REQUIRES(mutex_) { return ring_[ring_head_]; }
+
+  bool ChunksEmpty() const ESP_REQUIRES(mutex_) { return ring_count_ == 0; }
+
+  void PopFrontChunk() ESP_REQUIRES(mutex_) {
+    ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+    --ring_count_;
+  }
+
+  void PushBackChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) {
+    GrowRingIfFull();
+    ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = std::move(chunk);
+    ++ring_count_;
+  }
+
+  void PushFrontChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) {
+    GrowRingIfFull();
+    ring_head_ = (ring_head_ + ring_.size() - 1) & (ring_.size() - 1);
+    ring_[ring_head_] = std::move(chunk);
+    ++ring_count_;
+  }
+
+  void GrowRingIfFull() ESP_REQUIRES(mutex_) {
+    if (ring_count_ < ring_.size()) return;
+    std::vector<std::vector<T>> bigger(ring_.size() * 2);
+    for (std::size_t i = 0; i < ring_count_; ++i) {
+      bigger[i] = std::move(ring_[(ring_head_ + i) & (ring_.size() - 1)]);
+    }
+    ring_ = std::move(bigger);
+    ring_head_ = 0;
+  }
+
   static constexpr std::size_t kNoWaiter = static_cast<std::size_t>(-1);
+  /// Spent chunks retained for reuse.  Small: the steady-state cycle only
+  /// needs one chunk per concurrent producer, and hoarding more would pin
+  /// capacity after a burst.
+  static constexpr std::size_t kMaxPooledChunks = 8;
+  /// Initial chunk-ring slots; doubles on demand (bounded in practice by
+  /// capacity_ / smallest-batch plus recovery PushFronts).
+  static constexpr std::size_t kInitialRingSlots = 8;
 
   const std::size_t capacity_;
   const std::size_t low_watermark_;
   mutable Mutex mutex_;
   CondVar not_empty_;
   CondVar not_full_;
-  // Chunk list, not the channel itself: total item occupancy across chunks
+  // Chunk ring, not the channel itself: total item occupancy across chunks
   // is bounded by capacity_ (enforced in PushAll).
-  std::deque<std::vector<T>> chunks_ ESP_GUARDED_BY(mutex_);  // esp-lint: allow(unbounded-queue) -- occupancy bounded by capacity_
-  std::size_t front_pos_ ESP_GUARDED_BY(mutex_) = 0;  // consumed prefix of chunks_.front()
+  std::vector<std::vector<T>> ring_ ESP_GUARDED_BY(mutex_) =
+      std::vector<std::vector<T>>(kInitialRingSlots);
+  std::size_t ring_head_ ESP_GUARDED_BY(mutex_) = 0;   // slot of the oldest chunk
+  std::size_t ring_count_ ESP_GUARDED_BY(mutex_) = 0;  // live chunks in the ring
+  std::size_t front_pos_ ESP_GUARDED_BY(mutex_) = 0;  // consumed prefix of the front chunk
   std::size_t size_ ESP_GUARDED_BY(mutex_) = 0;       // total items across chunks
   std::size_t waiting_producers_ ESP_GUARDED_BY(mutex_) = 0;
   std::size_t waiting_consumers_ ESP_GUARDED_BY(mutex_) = 0;
   std::size_t min_waiting_batch_ ESP_GUARDED_BY(mutex_) = kNoWaiter;
   bool closed_ ESP_GUARDED_BY(mutex_) = false;
+  /// Free pool of spent chunk storage (empty vectors with capacity).
+  std::vector<std::vector<T>> pool_ ESP_GUARDED_BY(mutex_);
 };
 
 }  // namespace esp::runtime

@@ -1,46 +1,194 @@
 // Data records of the threaded local runtime.
 //
 // Unlike the cluster simulator (which abstracts payloads to a byte size),
-// the local runtime moves real values between real threads.  Payloads are
-// type-erased behind a shared_ptr so records stay copyable across broadcast
-// fan-out without copying the payload.  Payload types are a contract
-// between producing and consuming UDFs (like serialised records in a real
-// SPE); Get<T>() does not type-check.
+// the local runtime moves real values between real threads.  Payload
+// storage is small-buffer-optimized: trivially copyable payloads up to
+// kInlineCapacity bytes live INSIDE the record (no heap allocation, no
+// refcount traffic -- the steady-state record path is allocation-free),
+// while larger or non-trivial types are boxed behind a shared_ptr so
+// records stay cheaply copyable across broadcast fan-out without copying
+// the payload.  MakeRecord<T>/Get<T> dispatch between the two layouts at
+// compile time, so UDF call sites are representation-agnostic.  Payload
+// types are a contract between producing and consuming UDFs (like
+// serialised records in a real SPE); Get<T>() does not type-check.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <new>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 namespace esp::runtime {
 
-struct Record {
+class Record;
+
+template <typename T>
+Record MakeRecord(T value, std::uint64_t key = 0, std::uint8_t tag = 0);
+template <typename T>
+const T& Get(const Record& r);
+
+/// True when T is stored inline in the record (small-buffer optimization):
+/// trivially copyable, and fits the inline buffer's size and alignment.
+/// Evaluated at compile time by MakeRecord<T>/Get<T>.
+template <typename T>
+inline constexpr bool IsInlinePayload =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= 24 && alignof(T) <= 8;
+
+class Record {
+ public:
+  /// Payload bytes stored inline before falling back to heap boxing.
+  /// Sized so the union does not outgrow the shared_ptr control block
+  /// alternative by more than one word pair (sizeof(Record) stays <= 48).
+  static constexpr std::size_t kInlineCapacity = 24;
+  static constexpr std::size_t kInlineAlignment = 8;
+
   std::uint64_t key = 0;
   std::int64_t source_emit_ns = 0;  ///< stamped when a source emitted the
                                     ///< record's lineage (end-to-end latency)
   std::uint8_t tag = 0;             ///< record type, UDF-defined
-  std::shared_ptr<const void> payload;
 
-  bool has_payload() const { return payload != nullptr; }
+  Record() noexcept {}
+  ~Record() { DestroyPayload(); }
+
+  Record(const Record& other) { CopyFrom(other); }
+
+  Record& operator=(const Record& other) {
+    if (this != &other) {
+      DestroyPayload();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  // Moving an inline payload is a plain byte copy (the source keeps its
+  // bytes -- trivially copyable, nothing to steal); moving a boxed payload
+  // transfers the shared_ptr and leaves the source payload-less.
+  Record(Record&& other) noexcept { MoveFrom(other); }
+
+  Record& operator=(Record&& other) noexcept {
+    if (this != &other) {
+      DestroyPayload();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  bool has_payload() const { return kind_ != Kind::kNone; }
+  /// True when the payload lives in the record's inline buffer (no heap).
+  bool payload_inline() const { return kind_ == Kind::kInline; }
+
+  /// Drops the payload (record keeps key/tag/timestamp).
+  void reset_payload() {
+    DestroyPayload();
+    kind_ = Kind::kNone;
+  }
+
+  template <typename T>
+  friend Record MakeRecord(T value, std::uint64_t key, std::uint8_t tag);
+  template <typename T>
+  friend const T& Get(const Record& r);
+  // NB: the friend templates are declared before the class (with their
+  // default arguments); redeclaring defaults here would be ill-formed.
+
+ private:
+  enum class Kind : std::uint8_t { kNone, kInline, kBoxed };
+
+  template <typename T>
+  void EmplaceInline(const T& value) {
+    static_assert(IsInlinePayload<T>);
+    ::new (static_cast<void*>(inline_)) T(value);
+    kind_ = Kind::kInline;
+  }
+
+  void AdoptBoxed(std::shared_ptr<const void> box) {
+    ::new (static_cast<void*>(&boxed_)) std::shared_ptr<const void>(std::move(box));
+    kind_ = Kind::kBoxed;
+  }
+
+  void DestroyPayload() {
+    // Inline payloads are trivially destructible by construction; only the
+    // boxed arm owns a resource.
+    if (kind_ == Kind::kBoxed) boxed_.~shared_ptr();
+  }
+
+  void CopyFrom(const Record& other) {
+    key = other.key;
+    source_emit_ns = other.source_emit_ns;
+    tag = other.tag;
+    kind_ = other.kind_;
+    if (other.kind_ == Kind::kBoxed) {
+      ::new (static_cast<void*>(&boxed_)) std::shared_ptr<const void>(other.boxed_);
+    } else if (other.kind_ == Kind::kInline) {
+      std::memcpy(inline_, other.inline_, kInlineCapacity);
+    }
+  }
+
+  void MoveFrom(Record& other) noexcept {
+    key = other.key;
+    source_emit_ns = other.source_emit_ns;
+    tag = other.tag;
+    kind_ = other.kind_;
+    if (other.kind_ == Kind::kBoxed) {
+      ::new (static_cast<void*>(&boxed_))
+          std::shared_ptr<const void>(std::move(other.boxed_));
+      other.boxed_.~shared_ptr();
+      other.kind_ = Kind::kNone;
+    } else if (other.kind_ == Kind::kInline) {
+      std::memcpy(inline_, other.inline_, kInlineCapacity);
+    }
+  }
+
+  Kind kind_ = Kind::kNone;
+  union {
+    alignas(kInlineAlignment) unsigned char inline_[kInlineCapacity];
+    std::shared_ptr<const void> boxed_;
+  };
 };
 
-/// Boxes a value into a record payload.
+// The record is the unit the whole data plane copies and moves; a layout
+// regression (padding creep, an accidentally fattened union) fails the
+// build here rather than silently taxing every queue and batch buffer.
+static_assert(sizeof(Record) <= 48, "Record outgrew its 48-byte budget");
+static_assert(alignof(Record) == 8);
+static_assert(sizeof(std::shared_ptr<const void>) <= Record::kInlineCapacity,
+              "inline buffer no longer covers the boxed arm; shrink it");
+
+/// Builds a record around a payload.  Small trivially-copyable payloads are
+/// stored inline (no heap allocation); everything else is boxed.  The
+/// dispatch is compile-time, so call sites are identical for both layouts.
 template <typename T>
-Record MakeRecord(T value, std::uint64_t key = 0, std::uint8_t tag = 0) {
+Record MakeRecord(T value, std::uint64_t key, std::uint8_t tag) {
   Record r;
   r.key = key;
   r.tag = tag;
-  r.payload = std::make_shared<const T>(std::move(value));
+  if constexpr (IsInlinePayload<T>) {
+    r.EmplaceInline(value);
+  } else {
+    r.AdoptBoxed(std::make_shared<const T>(std::move(value)));  // esp-lint: allow(hot-path-alloc) -- the sanctioned boxing path for oversize/non-trivial payloads
+  }
   return r;
 }
 
 /// Unboxes a payload; the caller asserts the type (producer/consumer
-/// contract).  Throws std::logic_error only for a missing payload.
+/// contract).  Throws std::logic_error only for a missing payload or a
+/// layout mismatch (an inline-eligible T read from a boxed record or vice
+/// versa -- which is always a type-contract violation, caught cheaply).
 template <typename T>
 const T& Get(const Record& r) {
-  if (!r.payload) throw std::logic_error("Record::Get: no payload");
-  return *static_cast<const T*>(r.payload.get());
+  if constexpr (IsInlinePayload<T>) {
+    if (r.kind_ != Record::Kind::kInline) {
+      throw std::logic_error("Record::Get: no inline payload");
+    }
+    return *std::launder(reinterpret_cast<const T*>(r.inline_));
+  } else {
+    if (r.kind_ != Record::Kind::kBoxed) {
+      throw std::logic_error("Record::Get: no boxed payload");
+    }
+    return *static_cast<const T*>(r.boxed_.get());
+  }
 }
 
 }  // namespace esp::runtime

@@ -5,10 +5,13 @@
 #include <chrono>
 #include <cstdint>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/alloc_counter.h"
 
 #include "common/thread_annotations.h"
 #include "runtime/engine.h"
@@ -39,6 +42,117 @@ TEST(Record, SharedPayloadAcrossCopies) {
 TEST(Record, GetThrowsWithoutPayload) {
   const Record r;
   EXPECT_THROW(Get<int>(r), std::logic_error);
+}
+
+// ------------------------------------------------- small-buffer optimization
+
+// Boundary probes for the inline-payload trait: 24 bytes of trivially
+// copyable data is the last inline size, 32 bytes falls back to boxing, and
+// over-aligned or non-trivial types are always boxed.
+struct Inline24 {
+  std::uint64_t a, b, c;
+};
+struct Boxed32 {
+  std::uint64_t a, b, c, d;
+};
+struct OverAligned {
+  alignas(16) double v;
+};
+static_assert(IsInlinePayload<int>);
+static_assert(IsInlinePayload<long long>);
+static_assert(IsInlinePayload<std::uint64_t>);
+static_assert(IsInlinePayload<Inline24>);
+static_assert(!IsInlinePayload<Boxed32>);
+static_assert(!IsInlinePayload<OverAligned>);
+static_assert(!IsInlinePayload<std::string>);
+static_assert(!IsInlinePayload<std::vector<std::uint64_t>>);
+
+TEST(Record, SmallTrivialPayloadsStoreInline) {
+  const Record a = MakeRecord<int>(7);
+  const Record b = MakeRecord<std::uint64_t>(1ull << 40);
+  const Record c = MakeRecord<Inline24>({1, 2, 3});
+  EXPECT_TRUE(a.payload_inline());
+  EXPECT_TRUE(b.payload_inline());
+  EXPECT_TRUE(c.payload_inline());
+  EXPECT_EQ(Get<int>(a), 7);
+  EXPECT_EQ(Get<std::uint64_t>(b), 1ull << 40);
+  EXPECT_EQ(Get<Inline24>(c).c, 3u);
+}
+
+TEST(Record, OversizeOrNonTrivialPayloadsAreBoxed) {
+  const Record a = MakeRecord<Boxed32>({1, 2, 3, 4});
+  const Record b = MakeRecord<std::string>("payload");
+  EXPECT_FALSE(a.payload_inline());
+  EXPECT_FALSE(b.payload_inline());
+  EXPECT_EQ(Get<Boxed32>(a).d, 4u);
+  EXPECT_EQ(Get<std::string>(b), "payload");
+}
+
+TEST(Record, InlineCopiesAreIndependentStorage) {
+  const Record a = MakeRecord<int>(42);
+  const Record b = a;  // broadcast-style copy duplicates the inline bytes
+  EXPECT_EQ(Get<int>(a), 42);
+  EXPECT_EQ(Get<int>(b), 42);
+  EXPECT_NE(&Get<int>(a), &Get<int>(b));
+}
+
+TEST(Record, MoveSemanticsPerStorageClass) {
+  // Inline: moving is a byte copy, the source stays readable.
+  Record ia = MakeRecord<int>(9);
+  const Record ib = std::move(ia);
+  EXPECT_EQ(Get<int>(ib), 9);
+  EXPECT_TRUE(ia.has_payload());  // NOLINT(bugprone-use-after-move) moved-from state is the contract under test
+  // Boxed: moving transfers the box, the source loses its payload.
+  Record ba = MakeRecord<std::string>("gone");
+  const Record bb = std::move(ba);
+  EXPECT_EQ(Get<std::string>(bb), "gone");
+  EXPECT_FALSE(ba.has_payload());  // NOLINT(bugprone-use-after-move) moved-from state is the contract under test
+}
+
+TEST(Record, GetChecksStorageClassNotJustPresence) {
+  // Reading an inline-eligible type out of a boxed record (or vice versa)
+  // is a producer/consumer type-contract violation and must throw rather
+  // than reinterpret bytes.
+  const Record boxed = MakeRecord<std::string>("text");
+  EXPECT_THROW(Get<int>(boxed), std::logic_error);
+  const Record inl = MakeRecord<int>(1);
+  EXPECT_THROW(Get<std::string>(inl), std::logic_error);
+}
+
+// Non-trivially-copyable probe: counts live instances so payload lifetime
+// across record copy/move/assign is observable.
+struct LivenessProbe {
+  static std::atomic<int> live;
+  LivenessProbe() { ++live; }
+  LivenessProbe(const LivenessProbe&) { ++live; }
+  LivenessProbe& operator=(const LivenessProbe&) = default;
+  ~LivenessProbe() { --live; }
+};
+std::atomic<int> LivenessProbe::live{0};
+static_assert(!IsInlinePayload<LivenessProbe>);
+
+TEST(Record, BoxedPayloadLifetimeAcrossCopyMoveAndAssign) {
+  ASSERT_EQ(LivenessProbe::live.load(), 0);
+  {
+    Record a = MakeRecord<LivenessProbe>(LivenessProbe{});
+    ASSERT_EQ(LivenessProbe::live.load(), 1);
+    const Record b = a;  // aliases the box, no new payload instance
+    EXPECT_EQ(LivenessProbe::live.load(), 1);
+    Record c = std::move(a);
+    EXPECT_FALSE(a.has_payload());  // NOLINT(bugprone-use-after-move) moved-from state is the contract under test
+    EXPECT_TRUE(c.has_payload());
+    c = MakeRecord<int>(5);  // replacing the boxed arm with inline releases c's ref
+    EXPECT_TRUE(c.payload_inline());
+    EXPECT_EQ(LivenessProbe::live.load(), 1);  // b still holds the box
+  }
+  EXPECT_EQ(LivenessProbe::live.load(), 0);  // nothing leaked, nothing double-freed
+}
+
+TEST(Record, LayoutStaysWithinBudget) {
+  // Mirrors the static_asserts in record.h; a failure here means padding
+  // creep taxed every queue chunk and batch buffer in the runtime.
+  EXPECT_LE(sizeof(Record), 48u);
+  EXPECT_EQ(alignof(Record), 8u);
 }
 
 // ------------------------------------------------------------------ queue
@@ -103,6 +217,25 @@ TEST(BoundedQueue, PopBatchForDrainsUpToLimitInOrder) {
   EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 1u);
   EXPECT_EQ(out, (std::vector<int>{5}));
   EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 0u);
+}
+
+TEST(BoundedQueue, RecyclingPushRechargesProducerCapacity) {
+  BoundedQueue<int> q(64);
+  std::vector<int> batch{1, 2, 3, 4};
+  std::vector<int> out;
+  out.reserve(16);  // consumer storage that will enter the recycling cycle
+  ASSERT_TRUE(q.PushAll(batch));  // lvalue overload: cold pool, batch just empties
+  EXPECT_TRUE(batch.empty());
+  // The pop swaps the chunk into `out`; out's old 16-capacity storage parks
+  // in the queue's spent-chunk pool.
+  EXPECT_EQ(q.PopBatchFor(8, nanoseconds(1000), out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+  batch = {5, 6, 7};
+  ASSERT_TRUE(q.PushAll(batch));  // now recharged from the pool
+  EXPECT_TRUE(batch.empty());
+  EXPECT_GE(batch.capacity(), 16u);
+  EXPECT_EQ(q.PopBatchFor(8, nanoseconds(1000), out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{5, 6, 7}));  // FIFO order survives recycling
 }
 
 TEST(BoundedQueue, OversizeBatchAdmittedAfterDrain) {
@@ -845,6 +978,80 @@ TEST(LocalEngineFaults, StuckUdfSurfacesAsTeardownFailure) {
     // Unstick the abandoned thread; the engine destructor joins it.
     release.store(true);
   }
+}
+
+// ---------------------------------------------------- allocation regression
+
+// These tests assert the tentpole property of the zero-allocation record
+// path; they need the counting allocator (cmake -DESP_COUNT_ALLOCS=ON, as
+// the CI perf-smoke job builds) and skip themselves elsewhere.
+
+TEST(AllocCounting, CounterObservesBoxedAllocations) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "build with -DESP_COUNT_ALLOCS=ON";
+  const std::uint64_t before = TotalAllocs();
+  const Record boxed = MakeRecord<std::string>(std::string(64, 'x'));
+  EXPECT_GT(TotalAllocs(), before);  // boxing went through operator new
+  const std::uint64_t mid = TotalAllocs();
+  const Record inl = MakeRecord<int>(1);
+  EXPECT_EQ(TotalAllocs(), mid);  // inline payload did not
+  EXPECT_FALSE(boxed.payload_inline());
+  EXPECT_TRUE(inl.payload_inline());
+}
+
+TEST(AllocCounting, WarmedRecordQueueCycleIsAllocationFree) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "build with -DESP_COUNT_ALLOCS=ON";
+  // Single-threaded steady-state loop over the full hand-off cycle:
+  // MakeRecord -> producer batch -> lvalue PushAll -> PopBatchFor.  After
+  // warm-up the capacity circulates producer -> chunk -> pool -> producer
+  // and the loop must perform EXACTLY zero heap allocations.
+  BoundedQueue<Record> q(1024);
+  std::vector<Record> batch;
+  std::vector<Record> out;
+  constexpr std::size_t kBatch = 64;
+  const auto cycle = [&] {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(MakeRecord<std::uint64_t>(i, /*key=*/i));
+    }
+    if (!q.PushAll(batch)) return;
+    std::size_t got = 0;
+    while (got < kBatch) {
+      got += q.PopBatchFor(kBatch, nanoseconds(1'000'000), out);
+    }
+  };
+  for (int warm = 0; warm < 8; ++warm) cycle();
+  const std::uint64_t before = TotalAllocs();
+  for (int rounds = 0; rounds < 200; ++rounds) cycle();
+  EXPECT_EQ(TotalAllocs() - before, 0u)
+      << "steady-state record hand-off touched the heap";
+}
+
+TEST(AllocCounting, EngineMarginalAllocsPerRecordNearZero) {
+  if (!AllocCountingEnabled()) GTEST_SKIP() << "build with -DESP_COUNT_ALLOCS=ON";
+  // Whole-engine runs legitimately allocate on cold start (threads, tasks,
+  // control ticks), so the per-record claim is asserted as a MARGINAL cost:
+  // growing the record count must not grow allocations proportionally.
+  const auto run = [](int records) {
+    LocalEngineOptions opts;
+    opts.shipping = ShippingStrategy::kFixedBuffer;
+    SinkState state;
+    LocalEngine engine(LinearGraph(1, 1), opts);
+    engine.SetSource("Src", [records](std::uint32_t) {
+      return std::make_unique<CountingSource>(records, milliseconds(0));
+    });
+    engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(2); });
+    engine.SetUdf("Snk",
+                  [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+    const std::uint64_t before = TotalAllocs();
+    const EngineResult result = engine.Run(FromSeconds(30));
+    EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(records));
+    return TotalAllocs() - before;
+  };
+  const std::uint64_t small = run(20'000);
+  const std::uint64_t large = run(80'000);
+  const double marginal =
+      (static_cast<double>(large) - static_cast<double>(small)) / 60'000.0;
+  EXPECT_LT(marginal, 0.05) << "small-run allocs=" << small
+                            << " large-run allocs=" << large;
 }
 
 }  // namespace
