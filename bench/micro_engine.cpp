@@ -18,9 +18,18 @@
 // The allocs/rec column reports heap allocations per delivered record over
 // the engine run (requires a -DESP_COUNT_ALLOCS=ON build, "n/a" otherwise).
 //
+// Chaining / channel rows: the three base rows (instant/fixed/adaptive) run
+// with task chaining and the SPSC ring DISABLED so they stay comparable with
+// the historical baselines; the extra rows measure the fast paths --
+// "adaptive+spsc" (lock-free single-producer input queues), "chained"
+// (Map->Snk fused onto one thread), and "chained+spsc" (both, the engine's
+// default configuration).  `--chaining on|off` / `--spsc on|off` override
+// the BASE rows, e.g. to measure recovery overhead under fusion.
+//
 // Usage: micro_engine [--records N] [--queue N] [--batch N] [--seed S]
-//                     [--payload-size 8|24|64]
-//                     [--fail-at N] [--policy P] [--tsv] [--json]
+//                     [--payload-size 8|24|64] [--chaining on|off]
+//                     [--spsc on|off] [--fail-at N] [--policy P]
+//                     [--tsv] [--json]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -172,7 +181,7 @@ struct FaultConfig {
 template <typename P>
 Row RunOnce(const char* name, ShippingStrategy shipping, int records,
             std::size_t queue_capacity, std::uint32_t batch_capacity,
-            const FaultConfig& fc) {
+            const FaultConfig& fc, bool chaining, bool spsc) {
   JobGraph g;
   const auto src = g.AddVertex({.name = "Src", .parallelism = 1, .max_parallelism = 1});
   const auto map = g.AddVertex({.name = "Map", .parallelism = 1, .max_parallelism = 1});
@@ -184,6 +193,8 @@ Row RunOnce(const char* name, ShippingStrategy shipping, int records,
   opts.shipping = shipping;
   opts.queue_capacity = queue_capacity;
   opts.batch_capacity = batch_capacity;
+  opts.chaining = chaining;
+  opts.spsc_channels = spsc;
 
   FaultInjector injector(fc.seed);
   if (fc.fail_at > 0) {
@@ -235,19 +246,26 @@ Row RunOnce(const char* name, ShippingStrategy shipping, int records,
   return row;
 }
 
-// Runs all three shipping strategies with the payload class P.
+// Runs the three shipping strategies (base rows, chaining/spsc as given)
+// plus the fast-path comparison rows on the adaptive strategy.
 template <typename P>
-std::vector<Row> RunAll(int records, int queue, int batch, const FaultConfig& fc) {
+std::vector<Row> RunAll(int records, int queue, int batch, const FaultConfig& fc,
+                        bool chaining, bool spsc) {
+  const auto q = static_cast<std::size_t>(queue);
+  const auto b = static_cast<std::uint32_t>(batch);
   std::vector<Row> rows;
   rows.push_back(RunOnce<P>("instant", esp::ShippingStrategy::kInstantFlush, records,
-                            static_cast<std::size_t>(queue),
-                            static_cast<std::uint32_t>(batch), fc));
+                            q, b, fc, chaining, spsc));
   rows.push_back(RunOnce<P>("fixed", esp::ShippingStrategy::kFixedBuffer, records,
-                            static_cast<std::size_t>(queue),
-                            static_cast<std::uint32_t>(batch), fc));
+                            q, b, fc, chaining, spsc));
   rows.push_back(RunOnce<P>("adaptive", esp::ShippingStrategy::kAdaptive, records,
-                            static_cast<std::size_t>(queue),
-                            static_cast<std::uint32_t>(batch), fc));
+                            q, b, fc, chaining, spsc));
+  rows.push_back(RunOnce<P>("adaptive+spsc", esp::ShippingStrategy::kAdaptive,
+                            records, q, b, fc, /*chaining=*/false, /*spsc=*/true));
+  rows.push_back(RunOnce<P>("chained", esp::ShippingStrategy::kAdaptive, records, q,
+                            b, fc, /*chaining=*/true, /*spsc=*/false));
+  rows.push_back(RunOnce<P>("chained+spsc", esp::ShippingStrategy::kAdaptive,
+                            records, q, b, fc, /*chaining=*/true, /*spsc=*/true));
   return rows;
 }
 
@@ -267,12 +285,18 @@ int main(int argc, char** argv) {
   fc.fail_at = ArgInt(argc, argv, "--fail-at", 0);
   fc.policy = ParsePolicy(ArgStr(argc, argv, "--policy", "restart-task"));
 
+  // Base rows default to the historical (no-fusion, MPSC) configuration so
+  // they stay comparable across releases; the engine itself defaults to on.
+  const bool chaining = std::strcmp(ArgStr(argc, argv, "--chaining", "off"), "on") == 0;
+  const bool spsc = std::strcmp(ArgStr(argc, argv, "--spsc", "off"), "on") == 0;
+
   Section("micro_engine: 1-source/1-map/1-sink, trivial UDFs, full blast");
   std::printf("records=%d queue_capacity=%d batch_capacity=%d payload_size=%d (%s) "
-              "seed=%llu\n",
+              "seed=%llu base_chaining=%s base_spsc=%s\n",
               records, queue, batch, payload_size,
               payload_size <= 24 ? "inline" : "boxed",
-              static_cast<unsigned long long>(fc.seed));
+              static_cast<unsigned long long>(fc.seed), chaining ? "on" : "off",
+              spsc ? "on" : "off");
   if (fc.fail_at > 0) {
     std::printf("fault: Map[0] throws at record %d, policy=%s\n", fc.fail_at,
                 ArgStr(argc, argv, "--policy", "restart-task"));
@@ -281,13 +305,13 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   switch (payload_size) {
     case 8:
-      rows = RunAll<int>(records, queue, batch, fc);
+      rows = RunAll<int>(records, queue, batch, fc, chaining, spsc);
       break;
     case 24:
-      rows = RunAll<Payload24>(records, queue, batch, fc);
+      rows = RunAll<Payload24>(records, queue, batch, fc, chaining, spsc);
       break;
     case 64:
-      rows = RunAll<Payload64>(records, queue, batch, fc);
+      rows = RunAll<Payload64>(records, queue, batch, fc, chaining, spsc);
       break;
     default:
       std::fprintf(stderr, "unknown --payload-size %d (want 8, 24 or 64)\n",

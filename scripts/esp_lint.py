@@ -69,6 +69,8 @@ HOT_PATH_ALLOC_RE = re.compile(r"std::make_(shared|unique)\s*<|\bnew\s+[A-Za-z_:
 HOT_PATH_FILES = {
     Path("src/runtime/record.h"),
     Path("src/runtime/queue.h"),
+    Path("src/runtime/spsc_queue.h"),
+    Path("src/runtime/chain.h"),
 }
 NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?(?P<rest>.*)")
 NOLINT_OK_RE = re.compile(r"^\((?P<checks>[\w\-.,*]+)\)\s*(?P<reason>\S.*)?$")

@@ -70,10 +70,17 @@ struct BatchingPolicyOptions {
 /// `previous` carries the deadlines chosen last interval; together with the
 /// measured obl_je it closes the feedback loop (feedback_gain), so the
 /// measured mean batch wait converges to the budget share.
+///
+/// `fused_edges` lists edges (raw JobEdgeId values) currently eliminated by
+/// task chaining: a fused edge ships synchronously inside one thread, so it
+/// has no output buffer to assign a deadline to AND it should not dilute the
+/// budget split -- excluding it hands its share to the remaining real edges,
+/// which is precisely the latency headroom fusion bought.
 FlushDeadlines ComputeFlushDeadlines(const JobGraph& graph,
                                      const std::vector<LatencyConstraint>& constraints,
                                      const GlobalSummary& summary,
                                      const FlushDeadlines& previous = {},
-                                     const BatchingPolicyOptions& options = {});
+                                     const BatchingPolicyOptions& options = {},
+                                     const std::vector<std::uint32_t>& fused_edges = {});
 
 }  // namespace esp

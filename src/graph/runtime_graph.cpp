@@ -10,6 +10,24 @@ const std::vector<ChannelId> kNoChannels;
 
 }  // namespace
 
+std::vector<JobEdgeId> ChainableEdges(
+    const JobGraph& graph,
+    const std::unordered_set<std::uint32_t>& excluded_consumers) {
+  std::vector<JobEdgeId> chainable;
+  for (JobEdgeId e : graph.EdgeIds()) {
+    const JobEdge& edge = graph.edge(e);
+    const JobVertex& src = graph.vertex(edge.source);
+    const JobVertex& dst = graph.vertex(edge.target);
+    if (src.parallelism != dst.parallelism) continue;
+    if (edge.pattern != WiringPattern::kPointwise && src.parallelism != 1) continue;
+    if (dst.inputs.size() != 1) continue;
+    if (src.inputs.empty()) continue;  // sources never head a chain
+    if (excluded_consumers.count(Value(edge.target)) != 0) continue;
+    chainable.push_back(e);
+  }
+  return chainable;
+}
+
 RuntimeGraph RuntimeGraph::Expand(const JobGraph& graph) {
   RuntimeGraph rg;
 

@@ -7,12 +7,34 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/ids.h"
 #include "graph/job_graph.h"
 
 namespace esp {
+
+/// Edges eligible for task chaining (operator fusion) at the graph's CURRENT
+/// parallelism.  An edge src -> dst is chainable iff the k-th consumer
+/// subtask receives from exactly the k-th producer subtask and from nobody
+/// else, so the two UDFs can run in one thread:
+///   * equal parallelism AND a pointwise pattern (the expansion then wires
+///     channel {e, k, k} only) -- or equal parallelism of 1, where every
+///     pattern degenerates to pointwise;
+///   * dst has no other input edge (a fused task has no queue to merge a
+///     second stream into);
+///   * src is not a stream source (the rescale park/drain protocol needs a
+///     queue below every source, so sources never head a chain);
+///   * Value(dst) is not in `excluded_consumers` -- the engine excludes
+///     vertices with pending salvaged backlog, which must be re-admitted
+///     through a real queue before the vertex may fuse again.
+/// Chainability is re-evaluated at every epoch (re)build, which is what
+/// makes chaining dynamic: rescaling a vertex away from its neighbour's
+/// parallelism breaks the chain, scaling back re-forms it.
+std::vector<JobEdgeId> ChainableEdges(
+    const JobGraph& graph,
+    const std::unordered_set<std::uint32_t>& excluded_consumers = {});
 
 /// Immutable expansion of a JobGraph at one parallelism configuration.
 class RuntimeGraph {

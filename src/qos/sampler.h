@@ -89,6 +89,10 @@ class ChannelSampler {
   /// Counts one item shipped through the channel.
   void CountItem() { ++items_; }
 
+  /// Counts `n` items at once -- the chained-edge path attributes a whole
+  /// fused batch arithmetically (no per-record sampler call).
+  void CountItems(std::uint64_t n) { items_ += n; }
+
   /// Returns the interval's aggregate measurement and resets interval state.
   ChannelMeasurement Harvest();
 

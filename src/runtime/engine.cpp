@@ -5,10 +5,13 @@
 #include <iterator>
 #include <limits>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "qos/sampler.h"
+#include "runtime/chain.h"
+#include "runtime/spsc_queue.h"
 
 namespace esp::runtime {
 
@@ -28,6 +31,13 @@ struct LocalEngine::Channel {
   std::uint32_t edge = 0;
   std::uint32_t index = 0;
   LocalTask* consumer = nullptr;
+  LocalTask* producer = nullptr;
+  /// A chained (fused) edge's channel is METRICS-ONLY: it is wired into
+  /// neither the producer's outputs nor a queue -- records cross the edge
+  /// synchronously via ChainInvoke -- but its sampler still reports the
+  /// edge's Table-I metrics (zero latency, true item count) so the latency
+  /// model never sees a hole in a constrained sequence.
+  bool chained = false;
 
   Mutex mutex;
   std::vector<Envelope> buffer ESP_GUARDED_BY(mutex);
@@ -53,8 +63,44 @@ struct LocalEngine::LocalTask {
 
   std::unique_ptr<Udf> udf;
   std::unique_ptr<SourceFunction> source;
-  std::unique_ptr<BoundedQueue<Envelope>> queue;  // null for sources
+  // Input queue, selected per epoch (BuildEpoch): the lock-free SPSC ring
+  // when exactly one producer task feeds this task, the mutex-guarded MPSC
+  // queue otherwise.  Both null for sources and for fused chain members.
+  std::unique_ptr<BoundedQueue<Envelope>> queue;
+  std::unique_ptr<SpscQueue<Envelope>> spsc;
   std::thread thread;
+
+  // Queue dispatch: every engine path goes through these so the two
+  // specialisations stay behaviourally interchangeable (same blocking,
+  // close, salvage and mark_busy contracts).
+  bool HasQueue() const { return queue != nullptr || spsc != nullptr; }
+  bool QueuePush(std::vector<Envelope>& batch) {
+    return spsc ? spsc->PushAll(batch) : queue->PushAll(batch);
+  }
+  std::size_t QueuePop(std::size_t max_items, std::chrono::nanoseconds timeout,
+                       std::vector<Envelope>& out, std::atomic<bool>* mark_busy) {
+    return spsc ? spsc->PopBatchFor(max_items, timeout, out, mark_busy)
+                : queue->PopBatchFor(max_items, timeout, out, mark_busy);
+  }
+  void QueueClose() {
+    if (spsc) {
+      spsc->Close();
+    } else if (queue) {
+      queue->Close();
+    }
+  }
+  bool QueueClosed() const { return spsc ? spsc->closed() : queue->closed(); }
+  bool QueueEmpty() const { return spsc ? spsc->Empty() : queue->Empty(); }
+  std::vector<Envelope> QueueDrainAll() {
+    return spsc ? spsc->DrainAll() : queue->DrainAll();
+  }
+  void QueuePushFront(std::vector<Envelope>&& items) {
+    if (spsc) {
+      spsc->PushFront(std::move(items));
+    } else {
+      queue->PushFront(std::move(items));
+    }
+  }
 
   std::vector<std::vector<Channel*>> outputs;  // per output edge, per epoch
   std::vector<WiringPattern> out_pattern;      // cached edge patterns, per slot
@@ -95,6 +141,20 @@ struct LocalEngine::LocalTask {
   std::size_t last_failure_index = static_cast<std::size_t>(-1);  // failure_mutex_
   bool abandoned = false;  ///< reported stuck at teardown (control thread only)
   FaultBinding fault;
+
+  // ---- task chaining (chain.h).  All fields are written by the control
+  // thread between epochs (BuildEpoch, before threads start) and read by
+  // the chain head's thread during one, so they need no locks.
+  bool chained = false;             ///< fused member: no queue, no thread
+  LocalTask* chain_head = nullptr;  ///< members: task whose thread runs us
+  std::vector<LocalTask*> chain_members;  ///< heads: flat fused-member list
+  std::vector<LocalTask*> chain_out;  ///< per output slot: fused consumer or null
+  Channel* chain_in = nullptr;  ///< members: the metrics-only fused channel
+  std::unique_ptr<RoutingCollector> chain_collector;  ///< members: for ChainInvoke
+  ChainMetricStaging chain_stage;  ///< members: head-thread-local metric staging
+  /// Deepest fused member that threw, tagged during ChainInvoke's unwind and
+  /// consumed by TaskLoop's catch so the FailureEvent names the true origin.
+  LocalTask* chain_origin_task = nullptr;
 };
 
 // Routes a UDF's emissions onto the task's output channels.
@@ -116,6 +176,13 @@ class LocalEngine::RoutingCollector final : public Collector {
     const std::int64_t now = now_hint_ns_ != 0 ? now_hint_ns_ : engine_->NowNs();
     if (record.source_emit_ns == 0) record.source_emit_ns = now;
     ++emitted_;
+
+    // Fused edge: hand the record to the chained downstream UDF synchronously
+    // -- no channel buffer, no envelope, no queue hop.
+    if (LocalTask* fused = task_->chain_out[output_index]; fused != nullptr) {
+      engine_->ChainInvoke(fused, std::move(record), now);
+      return;
+    }
 
     auto& targets = task_->outputs[output_index];
     if (targets.empty()) return;  // transient during rescale
@@ -302,7 +369,7 @@ void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>& batch) {
   // capacity in the channel's spare buffer so the next flush cycle reuses
   // it.  (The spare may legitimately be occupied -- e.g. a control-thread
   // force-flush raced a task-thread flush -- then the chunk is just freed.)
-  channel.consumer->queue->PushAll(batch);
+  channel.consumer->QueuePush(batch);
   if (batch.capacity() == 0) return;
   MutexLock lock(channel.mutex);
   if (channel.spare.capacity() == 0) channel.spare = std::move(batch);
@@ -312,18 +379,29 @@ void LocalEngine::FlushExpired(LocalTask* task) {
   for (auto& per_edge : task->outputs) {
     for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/false);
   }
+  // Fused members' real output channels are also owned by this thread.
+  for (LocalTask* m : task->chain_members) {
+    for (auto& per_edge : m->outputs) {
+      for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/false);
+    }
+  }
 }
 
 // ------------------------------------------------------------ thread loops
 
-void LocalEngine::ReportTaskFailure(LocalTask* task, const std::string& what) {
-  ESP_LOG_ERROR << "task " << task->vertex_name << "[" << task->id.subtask
+void LocalEngine::ReportTaskFailure(LocalTask* task, const std::string& what,
+                                    LocalTask* origin) {
+  // `origin` names the vertex whose UDF actually threw; for a fused chain
+  // that is the member ChainInvoke tagged, while `task` (the chain head)
+  // keeps the restart bookkeeping -- its thread is the unit of recovery.
+  if (origin == nullptr) origin = task;
+  ESP_LOG_ERROR << "task " << origin->vertex_name << "[" << origin->id.subtask
                 << "] failed: " << what;
   {
     MutexLock lock(failure_mutex_);
     FailureEvent ev;
-    ev.vertex = task->vertex_name;
-    ev.subtask = task->id.subtask;
+    ev.vertex = origin->vertex_name;
+    ev.subtask = origin->id.subtask;
     ev.time = NowNs();
     ev.what = what;
     task->last_failure_index = failures_.size();
@@ -386,24 +464,45 @@ void LocalEngine::TaskLoop(LocalTask* task) {
     TaskLoopBody(task, collector);
   } catch (const std::exception& e) {
     crashed = true;
-    ReportTaskFailure(task, e.what());
+    LocalTask* origin =
+        task->chain_origin_task != nullptr ? task->chain_origin_task : task;
+    task->chain_origin_task = nullptr;
+    ReportTaskFailure(task, e.what(), origin);
   }
   for (auto& per_edge : task->outputs) {
     for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/true);
+  }
+  for (LocalTask* m : task->chain_members) {
+    for (auto& per_edge : m->outputs) {
+      for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/true);
+    }
   }
   // A crashed task keeps its downstream open (the supervisor may restart it
   // and it will produce again); it also drops the busy flag its aborted
   // batch left raised so the drain detector can settle.
   if (!shutdown_.load() && !crashed) CloseDownstream(task);
   if (crashed) task->busy.store(false);
+  // Fused members live and die with their head's thread.
+  for (LocalTask* m : task->chain_members) m->done.store(true);
   task->done.store(true);
   control_cv_.NotifyAll();
 }
 
 void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
   task->udf->Open();
+  for (LocalTask* m : task->chain_members) m->udf->Open();
   const SimDuration timer_period = task->udf->TimerPeriod();
   if (timer_period > 0) task->next_timer_ns = NowNs() + timer_period;
+  // Fused members with timers fire on the head's loop, preserving their
+  // period; `member_timers` is the (member, period) list driving that.
+  std::vector<std::pair<LocalTask*, SimDuration>> member_timers;
+  for (LocalTask* m : task->chain_members) {
+    const SimDuration p = m->udf->TimerPeriod();
+    if (p > 0) {
+      m->next_timer_ns = NowNs() + p;
+      member_timers.emplace_back(m, p);
+    }
+  }
 
   // Reused across iterations: the dequeued batch plus per-record start/end
   // timestamps and emit flags for the post-batch metric pass.
@@ -453,6 +552,15 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
     if (task->fault.crash != nullptr) {
       task->fault.TickCrash(task->vertex_name, task->id.subtask, NowNs());
     }
+    for (LocalTask* m : task->chain_members) {
+      if (m->fault.crash == nullptr) continue;
+      try {
+        m->fault.TickCrash(m->vertex_name, m->id.subtask, NowNs());
+      } catch (...) {
+        if (task->chain_origin_task == nullptr) task->chain_origin_task = m;
+        throw;
+      }
+    }
     if (task->fault.wedge != nullptr) {
       // Injected wedge: stop consuming during [from, from+duration) (0 =
       // until shutdown).  Always releases on shutdown_ so teardown can join.
@@ -471,11 +579,12 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
     // never observes "queue empty + idle" while records are in hand; it
     // stays raised until the whole batch is processed.
     const std::size_t n =
-        task->queue->PopBatchFor(kPopBatch, nanoseconds(1'000'000), batch, &task->busy);
+        task->QueuePop(kPopBatch, nanoseconds(1'000'000), batch, &task->busy);
     const std::int64_t now = NowNs();
 
-    const bool timer_due = timer_period > 0 && now >= task->next_timer_ns;
-    if (timer_due) {
+    bool timer_fired = false;
+    if (timer_period > 0 && now >= task->next_timer_ns) {
+      timer_fired = true;
       task->busy.store(true);
       task->udf->OnTimer(collector);
       task->next_timer_ns += timer_period;
@@ -490,11 +599,26 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
         }
       }
     }
+    for (auto& entry : member_timers) {
+      LocalTask* m = entry.first;
+      if (now < m->next_timer_ns) continue;
+      if (!timer_fired) task->busy.store(true);
+      timer_fired = true;
+      try {
+        m->chain_collector->SetNowHint(0);
+        m->udf->OnTimer(*m->chain_collector);
+        (void)m->chain_collector->TakeEmitted();
+      } catch (...) {
+        if (task->chain_origin_task == nullptr) task->chain_origin_task = m;
+        throw;
+      }
+      m->next_timer_ns += entry.second;
+    }
     FlushExpired(task);
 
     if (n == 0) {
-      if (timer_due) task->busy.store(false);
-      if (task->queue->closed() && task->queue->Empty()) break;
+      if (timer_fired) task->busy.store(false);
+      if (task->QueueClosed() && task->QueueEmpty()) break;
       continue;
     }
 
@@ -538,6 +662,9 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
     } catch (...) {
       collector.SetNowHint(0);
       post_batch_metrics(processed);
+      // Bank the fused members' staged attribution for the completed prefix
+      // too -- the unflushed remainder dies with the restart otherwise.
+      if (!task->chain_members.empty()) FlushChainMetrics(task, now);
       task->salvage.assign(std::make_move_iterator(batch.begin() +
                                                    static_cast<std::ptrdiff_t>(processed)),
                            std::make_move_iterator(batch.end()));
@@ -545,19 +672,121 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
     }
 
     post_batch_metrics(n);
+    // One staged flush per head batch: every fused member's per-record
+    // attribution lands under a single sampler-lock acquisition.
+    if (!task->chain_members.empty()) FlushChainMetrics(task, now);
     task->busy.store(false);
   }
 
   // End of stream: fire a final window so buffered aggregates are not lost.
   if (timer_period > 0 && !shutdown_.load()) task->udf->OnTimer(collector);
+  for (auto& entry : member_timers) {
+    if (shutdown_.load()) break;
+    LocalTask* m = entry.first;
+    m->chain_collector->SetNowHint(0);
+    m->udf->OnTimer(*m->chain_collector);
+    (void)m->chain_collector->TakeEmitted();
+  }
   task->udf->Close();
+  for (LocalTask* m : task->chain_members) m->udf->Close();
+  if (!task->chain_members.empty()) FlushChainMetrics(task, NowNs());
+}
+
+// Runs one record through a fused member's UDF on the chain head's thread.
+// The steady-state path adds ZERO clock reads: the head's now-hint is reused
+// for batching deadlines and sink latency, and service time is only measured
+// on every kChainTimingInterval-th record (chain.h).  Metric attribution is
+// staged lock-free in the member's ChainMetricStaging; FlushChainMetrics
+// publishes it once per head batch.
+void LocalEngine::ChainInvoke(LocalTask* member, Record record,
+                              std::int64_t now_hint_ns) {
+  ChainMetricStaging& stage = member->chain_stage;
+  ++stage.count;
+  ++stage.arrivals;
+  RoutingCollector& out = *member->chain_collector;
+  try {
+    if (member->fault.has_record_faults()) {
+      member->fault.TickRecord(member->vertex_name, member->id.subtask);
+    }
+    if (stage.count % kChainTimingInterval == 0) {
+      // Sampled segment timing: two clock reads amortized over the interval.
+      const std::int64_t t0 = NowNs();
+      out.SetNowHint(t0);
+      member->udf->OnRecord(record, out);
+      stage.service.push_back(static_cast<double>(NowNs() - t0) * 1e-9);
+    } else {
+      out.SetNowHint(now_hint_ns);
+      member->udf->OnRecord(record, out);
+    }
+    (void)out.TakeEmitted();
+  } catch (...) {
+    // Deepest member wins: an inner ChainInvoke frame tags first and the
+    // null-check keeps outer frames from overwriting it on the way up.
+    if (member->chain_head->chain_origin_task == nullptr) {
+      member->chain_head->chain_origin_task = member;
+    }
+    throw;
+  }
+  // Delivery is staged only AFTER the member's UDF succeeded: a fused sink
+  // that throws salvages the record for replay, and counting it here too
+  // would double-count on the second (successful) pass.
+  if (member->is_sink && record.source_emit_ns != 0) {
+    ++stage.delivered;
+    stage.sink_latency.push_back(
+        static_cast<double>(now_hint_ns - record.source_emit_ns) * 1e-9);
+  }
+}
+
+// Publishes every fused member's staged batch attribution: per-member one
+// sampler-lock acquisition (arrivals, sampled service/task latencies, the
+// sink latency shard) plus one channel-lock acquisition on the member's
+// metrics-only fused channel, so EstimateSequenceLatency sees the edge with
+// its true item count and zero queue/batch wait.
+void LocalEngine::FlushChainMetrics(LocalTask* head, std::int64_t now_ns) {
+  for (LocalTask* m : head->chain_members) {
+    ChainMetricStaging& stage = m->chain_stage;
+    if (stage.empty()) continue;
+    {
+      MutexLock lock(m->sampler_mutex);
+      for (std::uint64_t i = 0; i < stage.arrivals; ++i) {
+        m->sampler.RecordArrival(now_ns);
+      }
+      for (double s : stage.service) {
+        m->sampler.RecordServiceTime(s);
+        m->sampler.OfferTaskLatency(s);
+      }
+      for (double l : stage.sink_latency) m->latency_shard.Add(l);
+    }
+    if (stage.delivered > 0) {
+      m->delivered_n.fetch_add(stage.delivered, std::memory_order_relaxed);
+    }
+    if (m->chain_in != nullptr) {
+      Channel& in = *m->chain_in;
+      MutexLock lock(in.mutex);
+      in.sampler.CountItems(stage.arrivals);
+      in.sampler.OfferChannelLatency(0.0);
+      in.sampler.OfferOutputBatchLatency(0.0);
+    }
+    stage.Flush();
+  }
 }
 
 void LocalEngine::CloseDownstream(LocalTask* task) {
   for (auto& per_edge : task->outputs) {
     for (Channel* ch : per_edge) {
       if (ch->consumer->remaining_producers.fetch_sub(1) == 1) {
-        ch->consumer->queue->Close();
+        ch->consumer->QueueClose();
+      }
+    }
+  }
+  // Fused members' real (non-chained) outputs close with the head: their
+  // records can only originate from this thread, which is exiting.
+  for (LocalTask* m : task->chain_members) {
+    for (auto& per_edge : m->outputs) {
+      for (Channel* ch : per_edge) {
+        if (ch->consumer->remaining_producers.fetch_sub(1) == 1) {
+          ch->consumer->QueueClose();
+        }
       }
     }
   }
@@ -567,6 +796,28 @@ void LocalEngine::CloseDownstream(LocalTask* task) {
 
 void LocalEngine::BuildEpoch() {
   const RuntimeGraph rg = RuntimeGraph::Expand(graph_);
+
+  // Chain analysis.  A vertex that is owed salvaged records must keep a real
+  // queue this epoch (ReadmitSalvage pushes into it), so it cannot be a
+  // fused consumer now; the next rebuild is free to fuse it again.
+  std::unordered_set<std::uint32_t> salvage_consumers;
+  for (const auto& [tid, records] : salvage_) {
+    if (!records.empty()) salvage_consumers.insert(Value(tid.vertex));
+  }
+  std::vector<JobEdgeId> chainable;
+  if (options_.chaining) chainable = ChainableEdges(graph_, salvage_consumers);
+  std::unordered_set<std::uint32_t> chained_edges;
+  chained_edge_list_.clear();
+  for (JobEdgeId e : chainable) {
+    chained_edges.insert(Value(e));
+    chained_edge_list_.push_back(Value(e));
+  }
+  // Chains are dynamic: every rebuild dissolves the previous epoch's chains
+  // and re-forms from the new parallelism vector, so forms minus breaks is
+  // the number of edges fused in the CURRENT epoch.
+  result_.chain_breaks += prev_chained_edges_;
+  result_.chain_forms += chainable.size();
+  prev_chained_edges_ = chainable.size();
 
   // Keep source tasks (their SourceFunction state persists across
   // rescales); everything else is rebuilt.
@@ -582,6 +833,8 @@ void LocalEngine::BuildEpoch() {
 
   for (JobVertexId v : graph_.VertexIds()) {
     const JobVertex& jv = graph_.vertex(v);
+    const bool chained_member =
+        jv.inputs.size() == 1 && chained_edges.count(Value(jv.inputs[0])) != 0;
     for (const TaskId& tid : rg.tasks(v)) {
       std::unique_ptr<LocalTask> task;
       if (jv.inputs.empty()) {
@@ -619,12 +872,14 @@ void LocalEngine::BuildEpoch() {
           }
           task->udf = it->second(tid.subtask);
           task->latency_mode = task->udf->latency_mode();
-          task->queue = std::make_unique<BoundedQueue<Envelope>>(options_.queue_capacity);
+          // Input queue selection is deferred: fused members get none, and
+          // the SPSC/MPSC choice needs the wiring pass's fan-in counts.
         }
         if (options_.fault_injector != nullptr) {
           task->fault = options_.fault_injector->Resolve(jv.name, tid.subtask);
         }
       }
+      task->chained = chained_member;
       task->outputs.assign(jv.outputs.size(), {});
       task->out_pattern.clear();
       for (JobEdgeId out : jv.outputs) {
@@ -632,6 +887,11 @@ void LocalEngine::BuildEpoch() {
       }
       task->rr.assign(jv.outputs.size(), 0);
       task->remaining_producers.store(0);
+      task->chain_out.assign(jv.outputs.size(), nullptr);
+      task->chain_head = nullptr;
+      task->chain_members.clear();
+      task->chain_in = nullptr;
+      task->chain_origin_task = nullptr;
       by_id[tid] = task.get();
       tasks_.push_back(std::move(task));
     }
@@ -639,6 +899,7 @@ void LocalEngine::BuildEpoch() {
 
   for (JobEdgeId e : graph_.EdgeIds()) {
     const JobEdge& edge = graph_.edge(e);
+    const bool fused = chained_edges.count(Value(e)) != 0;
     // Which output slot of the source vertex this edge occupies.
     std::uint32_t slot = 0;
     const auto& outs = graph_.vertex(edge.source).outputs;
@@ -649,23 +910,67 @@ void LocalEngine::BuildEpoch() {
       auto channel = std::make_unique<Channel>();
       channel->id = cid;
       channel->edge = Value(e);
+      channel->chained = fused;
       channel->flush_deadline.store(FlushDeadlineForEdge(Value(e)),
                                     std::memory_order_relaxed);
       channel->sampler =
           ChannelSampler(options_.latency_sample_probability, seeder.Next());
       channel->index = static_cast<std::uint32_t>(channels_.size());
       channel->consumer = by_id.at(TaskId{edge.target, cid.consumer_subtask});
-      by_id.at(TaskId{edge.source, cid.producer_subtask})
-          ->outputs[slot]
-          .push_back(channel.get());
-      channel->consumer->remaining_producers.fetch_add(1);
+      channel->producer = by_id.at(TaskId{edge.source, cid.producer_subtask});
+      if (fused) {
+        // A fused channel carries no records (metrics only): the producer
+        // dispatches straight to the consumer's UDF via ChainInvoke.
+        channel->producer->chain_out[slot] = channel->consumer;
+        channel->consumer->chain_in = channel.get();
+      } else {
+        channel->producer->outputs[slot].push_back(channel.get());
+        channel->consumer->remaining_producers.fetch_add(1);
+      }
       channels_.push_back(std::move(channel));
+    }
+  }
+
+  // Input-queue selection: a consumer fed by exactly one producer TASK over
+  // its real (non-fused) channels gets the lock-free SPSC ring; fan-in > 1
+  // keeps the mutex-guarded MPSC queue.  Fused members get no queue at all.
+  std::unordered_map<LocalTask*, std::unordered_set<LocalTask*>> producers_of;
+  for (auto& channel : channels_) {
+    if (channel->chained) continue;
+    producers_of[channel->consumer].insert(channel->producer);
+  }
+  for (auto& task : tasks_) {
+    if (task->is_source || task->chained) continue;
+    const auto it = producers_of.find(task.get());
+    const std::size_t fan_in = it == producers_of.end() ? 0 : it->second.size();
+    if (fan_in == 1 && options_.spsc_channels) {
+      task->spsc = std::make_unique<SpscQueue<Envelope>>(options_.queue_capacity);
+    } else {
+      task->queue = std::make_unique<BoundedQueue<Envelope>>(options_.queue_capacity);
+    }
+  }
+
+  // Chain-head resolution, in topological order so a member's head is known
+  // before its own fused consumers attach: transitive chains collapse onto
+  // the ultimate head's flat member list, and each member gets a collector
+  // of its own for ChainInvoke emissions.
+  for (JobVertexId v : graph_.TopologicalOrder()) {
+    for (const TaskId& tid : rg.tasks(v)) {
+      LocalTask* t = by_id.at(tid);
+      for (LocalTask* m : t->chain_out) {
+        if (m == nullptr) continue;
+        LocalTask* head = t->chained ? t->chain_head : t;
+        m->chain_head = head;
+        head->chain_members.push_back(m);
+        m->chain_collector = std::make_unique<RoutingCollector>(this, m);
+      }
     }
   }
 }
 
 void LocalEngine::StartThreads() {
   for (auto& task : tasks_) {
+    if (task->chained) continue;  // fused members run on their head's thread
     if (task->thread.joinable()) continue;  // surviving source thread
     LocalTask* raw = task.get();
     task->thread = raw->is_source ? std::thread([this, raw] { SourceLoop(raw); })
@@ -680,9 +985,7 @@ void LocalEngine::StartThreads() {
 // reported as a failure and left running so Run() can return on time; the
 // destructor joins it before the engine state it references is destroyed.
 void LocalEngine::TeardownEpoch() {
-  for (auto& task : tasks_) {
-    if (task->queue) task->queue->Close();
-  }
+  for (auto& task : tasks_) task->QueueClose();
   const std::int64_t deadline = NowNs() + options_.recovery.teardown_timeout;
   for (;;) {
     bool pending = false;
@@ -716,9 +1019,9 @@ void LocalEngine::TeardownEpoch() {
 // consumer).  Control thread only.
 void LocalEngine::PumpFailedTasks() {
   for (auto& task : tasks_) {
-    if (task->is_source || !task->queue) continue;
+    if (task->is_source || !task->HasQueue()) continue;
     if (!task->failed.load() || !task->done.load()) continue;
-    std::vector<Envelope> drained = task->queue->DrainAll();
+    std::vector<Envelope> drained = task->QueueDrainAll();
     if (drained.empty()) continue;
     task->salvage.insert(task->salvage.end(), std::make_move_iterator(drained.begin()),
                          std::make_move_iterator(drained.end()));
@@ -745,9 +1048,10 @@ void LocalEngine::ReadmitSalvage() {
         break;
       }
     }
-    if (target == nullptr || !target->queue) continue;
+    if (target == nullptr || !target->HasQueue()) continue;
     std::uint32_t in_channel = 0;
     for (auto& channel : channels_) {
+      if (channel->chained) continue;  // metrics-only, feeds no queue
       if (channel->consumer == target) {
         in_channel = channel->index;
         break;
@@ -755,7 +1059,7 @@ void LocalEngine::ReadmitSalvage() {
     }
     for (Envelope& env : records) env.channel = in_channel;
     result_.records_redelivered += records.size();
-    target->queue->PushFront(std::move(records));
+    target->QueuePushFront(std::move(records));
   }
   salvage_.clear();
 }
@@ -805,10 +1109,13 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
   const auto drained = [&] {
     for (auto& task : tasks_) {
       if (task->is_source || task->done.load()) continue;
-      // Read the queue before the busy flag: busy is raised under the queue
-      // lock before a pop's items leave, so "empty then not busy" (in that
+      // Fused members have no queue or thread of their own; the head's busy
+      // flag and the channel-buffer scan below cover their in-flight work.
+      if (task->chained) continue;
+      // Read the queue before the busy flag: busy is raised (published)
+      // before a pop's items leave, so "empty then not busy" (in that
       // order) can never observe an in-flight record.
-      if (!task->queue->Empty() || task->busy.load()) return false;
+      if (!task->QueueEmpty() || task->busy.load()) return false;
     }
     for (auto& channel : channels_) {
       MutexLock lock(channel->mutex);
@@ -833,7 +1140,7 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
   // 3. Stop and join the non-source task threads, then bank their metric
   // shards -- BuildEpoch is about to destroy those tasks.
   for (auto& task : tasks_) {
-    if (!task->is_source && task->queue) task->queue->Close();
+    if (!task->is_source) task->QueueClose();
   }
   for (auto& task : tasks_) {
     if (!task->is_source && task->thread.joinable()) task->thread.join();
@@ -847,10 +1154,10 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
   // the restart for them -- and count the restarts.
   std::uint32_t recovered = 0;
   for (auto& task : tasks_) {
-    if (task->is_source || !task->queue) continue;
+    if (task->is_source || !task->HasQueue()) continue;
     std::vector<Envelope> s = std::move(task->salvage);
     task->salvage.clear();
-    std::vector<Envelope> rest = task->queue->DrainAll();
+    std::vector<Envelope> rest = task->QueueDrainAll();
     s.insert(s.end(), std::make_move_iterator(rest.begin()),
              std::make_move_iterator(rest.end()));
     if (!s.empty()) salvage_.emplace_back(task->id, std::move(s));
@@ -878,6 +1185,17 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
   BuildEpoch();
   ReadmitSalvage();
   StartThreads();
+  // A source that finished CLEANLY before this rebuild closed the OLD
+  // epoch's queues on its way out; the NEW epoch's consumers need that
+  // end-of-stream again, or a job whose sources are already exhausted
+  // (e.g. an epoch restart late in the stream) would idle out the full
+  // max_duration after delivering everything.  Crashed sources stay open:
+  // the supervisor may still restart them.
+  for (auto& task : tasks_) {
+    if (task->is_source && task->done.load() && !task->failed.load()) {
+      CloseDownstream(task.get());
+    }
+  }
   if (!actions.empty()) ++result_.rescales;
   if (recovered > 0) {
     std::vector<std::string> vertices;  // every non-source vertex was rebuilt
@@ -932,7 +1250,7 @@ bool LocalEngine::RestartTask(LocalTask* task) {
   if (task->thread.joinable()) task->thread.join();
   if (!task->salvage.empty()) {
     result_.records_redelivered += task->salvage.size();
-    task->queue->PushFront(std::move(task->salvage));
+    task->QueuePushFront(std::move(task->salvage));
     task->salvage.clear();
   }
   try {
@@ -944,6 +1262,12 @@ bool LocalEngine::RestartTask(LocalTask* task) {
     } else {
       task->udf = udf_factories_.at(task->vertex_name)(task->id.subtask);
       task->latency_mode = task->udf->latency_mode();
+      // A chain restarts as a unit: the head's thread is the failure domain,
+      // so every fused member gets a fresh user-code instance too.
+      for (LocalTask* m : task->chain_members) {
+        m->udf = udf_factories_.at(m->vertex_name)(m->id.subtask);
+        m->latency_mode = m->udf->latency_mode();
+      }
     }
   } catch (const std::exception& e) {
     ESP_LOG_ERROR << "RestartTask: factory for " << task->vertex_name
@@ -954,6 +1278,16 @@ bool LocalEngine::RestartTask(LocalTask* task) {
     MutexLock lock(task->sampler_mutex);
     task->rw_pending.clear();
   }
+  for (LocalTask* m : task->chain_members) {
+    {
+      MutexLock lock(m->sampler_mutex);
+      m->rw_pending.clear();
+    }
+    m->chain_stage.Flush();
+    m->next_timer_ns = 0;
+    m->done.store(false);
+  }
+  task->chain_origin_task = nullptr;
   task->next_timer_ns = 0;
   task->busy.store(false);
   {
@@ -1021,6 +1355,7 @@ bool LocalEngine::Supervise() {
       for (LocalTask* task : ready) {
         if (RestartTask(task)) {
           vertices.push_back(task->vertex_name);
+          for (LocalTask* m : task->chain_members) vertices.push_back(m->vertex_name);
         } else {
           waiting = true;  // factory failed; backoff and retry
         }
@@ -1132,7 +1467,8 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
 
     if (options_.shipping == ShippingStrategy::kAdaptive && !constraints_.empty()) {
       last_deadlines_ = ComputeFlushDeadlines(graph_, constraints_, last_summary_,
-                                              last_deadlines_, options_.batching);
+                                              last_deadlines_, options_.batching,
+                                              chained_edge_list_);
       for (const auto& [edge, deadline] : last_deadlines_) {
         edge_deadlines_[edge].store(deadline);
       }

@@ -4,7 +4,9 @@
 // at scale; LocalEngine demonstrates the same architecture on REAL threads
 // for laptop-scale jobs and powers the runnable examples:
 //   * one thread per task, bounded MPSC input queues (blocking push =
-//     backpressure),
+//     backpressure) -- specialised per epoch to a lock-free SPSC ring for
+//     1-producer edges, and eliminated entirely for chainable edges, whose
+//     consumer UDF is fused into the producer's thread (DESIGN.md §10),
 //   * per-channel output batching with instant / fixed-size / adaptive
 //     deadline flushing,
 //   * live QoS reporters/managers feeding the latency model, and
@@ -83,6 +85,15 @@ struct LocalEngineOptions {
   ElasticScalerOptions scaler;  ///< scaler.enabled turns on elasticity
   BatchingPolicyOptions batching;
   FailureRecoveryOptions recovery;
+  /// Fuse chainable edges (equal parallelism, pointwise wiring) into single
+  /// task threads at every epoch (re)build; see graph::ChainableEdges and
+  /// DESIGN.md §10.  Chains break and re-form dynamically as the scaler
+  /// changes parallelism.
+  bool chaining = true;
+  /// Use the lock-free SPSC ring (spsc_queue.h) instead of the mutex-guarded
+  /// MPSC queue for tasks fed by exactly one producer task, selected
+  /// automatically at every epoch (re)build.
+  bool spsc_channels = true;
   /// Optional fault-injection harness (non-owning; must outlive Run).
   FaultInjector* fault_injector = nullptr;
 };
@@ -112,6 +123,12 @@ struct EngineResult {
   /// Parallelism per vertex at the end of the run.
   std::unordered_map<std::string, std::uint32_t> final_parallelism;
   std::uint32_t rescales = 0;  ///< stop-the-world rescaling rounds
+  /// Task-chaining dynamics: chained edges fuse at every epoch build
+  /// (chain_forms) and dissolve at every rebuild (chain_breaks), so
+  /// forms - breaks = edges fused in the final epoch and a rescaling run
+  /// shows both counters advance.
+  std::uint64_t chain_forms = 0;
+  std::uint64_t chain_breaks = 0;
   /// Every task failure in order of detection; empty on a clean run.
   std::vector<FailureEvent> failures;
   std::uint32_t restarts = 0;  ///< task/epoch restarts performed
@@ -179,7 +196,19 @@ class LocalEngine {
   void SourceLoopBody(LocalTask* task, RoutingCollector& collector);
   void TaskLoop(LocalTask* task);
   void TaskLoopBody(LocalTask* task, RoutingCollector& collector);
-  void ReportTaskFailure(LocalTask* task, const std::string& what);
+  /// Runs a fused member's UDF synchronously on the chain head's thread:
+  /// no queue, no envelope, and (off the sampling cadence) no clock read.
+  /// Per-record metric attribution lands in the member's ChainMetricStaging.
+  void ChainInvoke(LocalTask* member, Record record, std::int64_t now_hint_ns);
+  /// Flushes every chain member's staged metrics into its samplers and its
+  /// chained-edge channel sampler -- one lock acquisition per member per
+  /// head batch.
+  void FlushChainMetrics(LocalTask* head, std::int64_t now_ns);
+  /// `origin` (default: the failing task itself) names the vertex the
+  /// failure arose in; a chain head passes the fused member whose UDF threw
+  /// so FailureEvent reports the ORIGINAL vertex, not the chain head.
+  void ReportTaskFailure(LocalTask* task, const std::string& what,
+                         LocalTask* origin = nullptr);
   void Append(Channel& channel, Record record, std::int64_t now);
   void FlushExpired(LocalTask* task);
   void FlushChannel(Channel& channel, bool force);
@@ -248,6 +277,13 @@ class LocalEngine {
   GlobalSummary last_summary_;
   std::unordered_map<std::uint32_t, std::atomic<SimDuration>> edge_deadlines_;
   FlushDeadlines last_deadlines_;
+  /// Raw JobEdgeIds fused in the CURRENT epoch (control thread only):
+  /// excluded from the adaptive flush-deadline split, so the latency
+  /// headroom fusion buys flows to the remaining real edges.
+  std::vector<std::uint32_t> chained_edge_list_;
+  /// Chained-edge count of the previous epoch; every rebuild dissolves
+  /// those chains, which is what EngineResult::chain_breaks counts.
+  std::size_t prev_chained_edges_ = 0;
 
   // Metrics live in per-task shards (LocalTask::emitted_n/delivered_n
   // counters and LocalTask::latency_shard) that HarvestTaskMetrics folds

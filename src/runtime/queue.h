@@ -193,6 +193,14 @@ class BoundedQueue {
     return size_ == 0;
   }
 
+  /// Total element capacity retained in the spent-chunk free pool; bounded
+  /// by `capacity` (see RecycleChunk).  Exposed for the bounded-pool
+  /// regression test.
+  std::size_t PooledCapacity() const ESP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return pooled_capacity_;
+  }
+
  private:
   /// Shared body of both PushAll overloads.  With `recycle`, `items` is
   /// recharged from the spent-chunk pool after its contents move in; the
@@ -236,6 +244,7 @@ class BoundedQueue {
       if (recycle && !pool_.empty()) {
         items = std::move(pool_.back());
         pool_.pop_back();
+        pooled_capacity_ -= items.capacity();
       }
     }
     if (waiting_consumers_ > 0) {
@@ -255,9 +264,18 @@ class BoundedQueue {
 
   /// Parks a spent chunk's storage in the free pool (bounded; overflow and
   /// capacity-less chunks are simply freed).  The chunk may still hold
-  /// moved-from elements -- clear() destroys them before pooling.
+  /// moved-from elements -- clear() destroys them before pooling.  The pool
+  /// is bounded BOTH in chunk count and in total retained element capacity:
+  /// a backlog burst drains through chunks sized well above the steady
+  /// state, and pooling those would pin peak-backlog memory for the queue's
+  /// whole life.  Capping retained capacity at `capacity_` keeps the pool's
+  /// footprint at one queue's worth of elements, worst case.
   void RecycleChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) {
-    if (chunk.capacity() == 0 || pool_.size() >= kMaxPooledChunks) return;
+    if (chunk.capacity() == 0 || pool_.size() >= kMaxPooledChunks ||
+        pooled_capacity_ + chunk.capacity() > capacity_) {
+      return;
+    }
+    pooled_capacity_ += chunk.capacity();
     chunk.clear();
     pool_.push_back(std::move(chunk));
   }
@@ -363,6 +381,8 @@ class BoundedQueue {
   bool closed_ ESP_GUARDED_BY(mutex_) = false;
   /// Free pool of spent chunk storage (empty vectors with capacity).
   std::vector<std::vector<T>> pool_ ESP_GUARDED_BY(mutex_);
+  /// Sum of pool_ element capacities; RecycleChunk keeps it <= capacity_.
+  std::size_t pooled_capacity_ ESP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace esp::runtime

@@ -364,6 +364,20 @@ TEST(BatchingPolicy, SplitsBatchBudgetEvenlyOverEdges) {
   EXPECT_EQ(deadlines.at(1), FromMillis(6));
 }
 
+TEST(BatchingPolicy, FusedEdgesAreExcludedFromTheBudgetSplit) {
+  // Same pipeline as SplitsBatchBudgetEvenlyOverEdges, but edge 1 is fused
+  // by task chaining: it ships synchronously inside one thread, so it gets
+  // NO deadline and its budget share flows to the remaining real edge --
+  // 16 ms over 1 edge instead of 2, discounted to 12 ms by the 0.75 factor.
+  Pipeline pipe({{80.0, 0.010, 1.0, 1.0, 4, 1, 64, true, 0.002}});
+  const auto constraint = pipe.Constraint(FromMillis(22));
+  const FlushDeadlines deadlines =
+      ComputeFlushDeadlines(pipe.graph, {constraint}, pipe.summary, {}, {}, {1});
+  ASSERT_EQ(deadlines.size(), 1u);
+  EXPECT_EQ(deadlines.count(1), 0u);
+  EXPECT_EQ(deadlines.at(0), FromMillis(12));
+}
+
 TEST(BatchingPolicy, OverlappingConstraintsTakeTightestDeadline) {
   Pipeline pipe({{80.0, 0.010}});
   const auto loose = pipe.Constraint(FromMillis(100), "loose");

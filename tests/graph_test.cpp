@@ -243,6 +243,88 @@ TEST(JobSequence, ToStringNamesElements) {
   EXPECT_NE(s.find("Source~Mid"), std::string::npos);
 }
 
+// ------------------------------------------------------------ ChainableEdges
+
+// Source -> A -> B -> Sink with per-vertex parallelism and wiring pattern.
+JobGraph ChainGraph(std::uint32_t p_a, std::uint32_t p_b,
+                    WiringPattern pattern = WiringPattern::kPointwise) {
+  JobGraph g;
+  const auto src = g.AddVertex({.name = "Source", .parallelism = 1, .max_parallelism = 1});
+  const auto a = g.AddVertex({.name = "A", .parallelism = p_a, .max_parallelism = p_a});
+  const auto b = g.AddVertex({.name = "B", .parallelism = p_b, .max_parallelism = p_b});
+  const auto snk = g.AddVertex({.name = "Sink", .parallelism = 1, .max_parallelism = 1});
+  g.Connect(src, a, pattern);
+  g.Connect(a, b, pattern);
+  g.Connect(b, snk, pattern);
+  return g;
+}
+
+TEST(ChainableEdges, EqualParallelismPointwiseEdgeIsChainable) {
+  // Source->A is excluded (sources never head a chain); A->B fuses; B->Sink
+  // does not (parallelism 4 vs 1).
+  const JobGraph g = ChainGraph(4, 4);
+  EXPECT_EQ(ChainableEdges(g), std::vector<JobEdgeId>{JobEdgeId{1}});
+}
+
+TEST(ChainableEdges, UnequalParallelismBreaksTheChain) {
+  const JobGraph g = ChainGraph(4, 2);
+  EXPECT_TRUE(ChainableEdges(g).empty());
+}
+
+TEST(ChainableEdges, RoundRobinChainableOnlyAtParallelismOne) {
+  // A shuffling edge is pointwise in effect when the producer is a single
+  // task, so p==1 round-robin edges still fuse.
+  const JobGraph one = ChainGraph(1, 1, WiringPattern::kRoundRobin);
+  EXPECT_EQ(ChainableEdges(one),
+            (std::vector<JobEdgeId>{JobEdgeId{1}, JobEdgeId{2}}));
+  const JobGraph wide = ChainGraph(2, 2, WiringPattern::kRoundRobin);
+  EXPECT_TRUE(ChainableEdges(wide).empty());
+}
+
+TEST(ChainableEdges, MultiInputConsumerIsNotChainable) {
+  // Diamond merge: C has two input edges, so neither can fuse (a fused task
+  // has no queue to merge the second stream into).
+  JobGraph g;
+  const auto src = g.AddVertex({.name = "Source", .parallelism = 1, .max_parallelism = 1});
+  const auto a = g.AddVertex({.name = "A", .parallelism = 1, .max_parallelism = 1});
+  const auto b = g.AddVertex({.name = "B", .parallelism = 1, .max_parallelism = 1});
+  const auto c = g.AddVertex({.name = "C", .parallelism = 1, .max_parallelism = 1});
+  g.Connect(src, a, WiringPattern::kPointwise);
+  g.Connect(src, b, WiringPattern::kPointwise);
+  g.Connect(a, c, WiringPattern::kPointwise);
+  g.Connect(b, c, WiringPattern::kPointwise);
+  EXPECT_TRUE(ChainableEdges(g).empty());
+}
+
+TEST(ChainableEdges, ExcludedConsumerKeepsItsQueue) {
+  // A vertex owed salvaged backlog must be re-fed through a real queue, so
+  // the engine excludes it from fusion for that epoch.
+  const JobGraph g = ChainGraph(1, 1);
+  ASSERT_EQ(ChainableEdges(g).size(), 2u);
+  const std::uint32_t b = Value(g.VertexByName("B"));
+  EXPECT_EQ(ChainableEdges(g, {b}), std::vector<JobEdgeId>{JobEdgeId{2}});
+}
+
+TEST(ChainableEdges, RescalingBreaksAndReformsChains) {
+  // The dynamic property: the same graph object flips edge 1 between
+  // chainable and not as the scaler moves A's parallelism.
+  JobGraph g;
+  const auto src = g.AddVertex({.name = "Source", .parallelism = 1, .max_parallelism = 1});
+  const auto a = g.AddVertex({.name = "A",
+                              .parallelism = 2,
+                              .min_parallelism = 1,
+                              .max_parallelism = 8,
+                              .elastic = true});
+  const auto b = g.AddVertex({.name = "B", .parallelism = 2, .max_parallelism = 2});
+  g.Connect(src, a, WiringPattern::kPointwise);
+  g.Connect(a, b, WiringPattern::kPointwise);
+  EXPECT_EQ(ChainableEdges(g).size(), 1u);
+  g.SetParallelism(a, 4);
+  EXPECT_TRUE(ChainableEdges(g).empty());
+  g.SetParallelism(a, 2);
+  EXPECT_EQ(ChainableEdges(g).size(), 1u);
+}
+
 TEST(LatencyConstraintValidation, RejectsNonPositiveBoundOrWindow) {
   const JobGraph g = LinearGraph(1, 1, 1);
   const JobSequence seq = JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}});

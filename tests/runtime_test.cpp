@@ -17,6 +17,7 @@
 #include "runtime/engine.h"
 #include "runtime/queue.h"
 #include "runtime/record.h"
+#include "runtime/spsc_queue.h"
 
 namespace esp::runtime {
 namespace {
@@ -349,6 +350,212 @@ TEST(BoundedQueue, DrainDetectorSeesNoInFlightItems) {
   q.Close();
   consumer.join();
   EXPECT_EQ(processed.load(), pushed);
+}
+
+TEST(BoundedQueue, SpentChunkPoolRetainedCapacityIsBounded) {
+  // Regression for the bounded free pool: recycling retains at most one
+  // queue's worth (capacity_) of spent-chunk storage, so a burst that
+  // drained through large chunks cannot pin peak-backlog memory for the
+  // queue's whole lifetime.
+  BoundedQueue<int> q(64);
+  std::vector<int> out;
+  for (int round = 0; round < 16; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      std::vector<int> chunk(16, c);
+      ASSERT_TRUE(q.PushAll(std::move(chunk)));
+    }
+    EXPECT_EQ(q.PopBatchFor(64, nanoseconds(1000), out), 64u);
+    EXPECT_LE(q.PooledCapacity(), 64u) << "round " << round;
+  }
+  EXPECT_GT(q.PooledCapacity(), 0u);  // pooling itself still works
+}
+
+// ------------------------------------------------------------- SPSC queue
+
+TEST(SpscQueue, FifoOrderAcrossChunks) {
+  SpscQueue<int> q(16);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{1, 2, 3}));
+  ASSERT_TRUE(q.PushAll(std::vector<int>{4, 5}));
+  std::vector<int> out;
+  // Takes the whole first chunk plus part of the second, preserving FIFO.
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 1u);
+  EXPECT_EQ(out, (std::vector<int>{5}));
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 0u);
+}
+
+TEST(SpscQueue, CursorsWrapAroundTheRingManyTimes) {
+  // Capacity 4 -> 4 chunk slots; 100 push/pop cycles wrap the monotonic
+  // cursors around the mask 25 times.
+  SpscQueue<int> q(4);
+  std::vector<int> out;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.PushAll(std::vector<int>{i}));
+    ASSERT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 1u);
+    EXPECT_EQ(out, (std::vector<int>{i}));
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SpscQueue, SwapRecyclesCapacityThroughTheRingSlot) {
+  // Capacity recycling without a free pool: the consumer's pop donates its
+  // batch storage to the slot, and the producer's next push at that slot
+  // takes it back.  Capacity 1 -> one slot, so the handoff is immediate.
+  SpscQueue<int> q(1);
+  std::vector<int> out;
+  out.reserve(64);
+  std::vector<int> batch{1};
+  ASSERT_TRUE(q.PushAll(batch));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 1u);  // slot <- out's 64
+  batch = {2};
+  ASSERT_TRUE(q.PushAll(batch));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_GE(batch.capacity(), 64u);  // producer recharged from the slot
+}
+
+TEST(SpscQueue, CloseUnblocksAndDrains) {
+  SpscQueue<int> q(4);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{1}));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 1u);  // drains after close
+  EXPECT_EQ(out, (std::vector<int>{1}));
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1000), out), 0u);
+  EXPECT_FALSE(q.PushAll(std::vector<int>{2}));  // pushes rejected
+}
+
+TEST(SpscQueue, FullQueueBlocksProducerUntilConsumed) {
+  SpscQueue<int> q(2);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{1, 2}));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.PushAll(std::vector<int>{3});
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // backpressure: producer is parked
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1'000'000), out), 2u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.PopBatchFor(4, nanoseconds(1'000'000), out), 1u);
+  EXPECT_EQ(out, (std::vector<int>{3}));
+}
+
+TEST(SpscQueue, OversizedChunkComesOutInPartialRuns) {
+  // One chunk larger than the pop budget: the consumer's cursor stays on
+  // the chunk across pops (chunk_off_), preserving order with no loss.
+  SpscQueue<int> q(16);
+  std::vector<int> big;
+  for (int i = 0; i < 10; ++i) big.push_back(i);
+  ASSERT_TRUE(q.PushAll(std::move(big)));
+  std::vector<int> out, got;
+  while (q.PopBatchFor(3, nanoseconds(1000), out) > 0) {
+    EXPECT_LE(out.size(), 3u);
+    got.insert(got.end(), out.begin(), out.end());
+  }
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SpscQueue, PushFrontComesOutBeforeRingItems) {
+  // Recovery path: salvaged records re-admitted via the stash come out
+  // ahead of queued chunks, even when the queue is full or closed.
+  SpscQueue<int> q(2);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{5, 6}));
+  q.Close();
+  q.PushFront(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<int> out, got;
+  while (q.PopBatchFor(8, nanoseconds(1000), out) > 0) {
+    got.insert(got.end(), out.begin(), out.end());
+  }
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 5, 6}));
+}
+
+TEST(SpscQueue, DrainAllTakesStashAndRingWithoutWaiting) {
+  SpscQueue<int> q(8);
+  ASSERT_TRUE(q.PushAll(std::vector<int>{3, 4}));
+  ASSERT_TRUE(q.PushAll(std::vector<int>{5}));
+  q.PushFront(std::vector<int>{1, 2});
+  EXPECT_EQ(q.DrainAll(), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_TRUE(q.DrainAll().empty());
+}
+
+TEST(SpscQueue, DrainDetectorSeesNoInFlightItems) {
+  // The stop-the-world drain invariant, same protocol as the BoundedQueue
+  // stress: mark_busy is raised BEFORE the pop is published, so reading
+  // "queue empty, then flag false" proves every pushed item was processed.
+  SpscQueue<int> q(16);
+  std::atomic<bool> busy{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> processed{0};
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (!stop.load()) {
+      const std::size_t n = q.PopBatchFor(8, nanoseconds(200'000), batch, &busy);
+      if (n > 0) {
+        processed.fetch_add(n);  // "process" before declaring idle
+        busy.store(false);
+      }
+    }
+  });
+  std::uint64_t pushed = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> burst(1 + round % 13, round);
+    pushed += burst.size();
+    ASSERT_TRUE(q.PushAll(std::move(burst)));
+    int stable = 0;
+    while (stable < 3) {
+      const bool empty = q.Empty();    // read queue state first...
+      const bool idle = !busy.load();  // ...then the busy flag
+      stable = (empty && idle) ? stable + 1 : 0;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ASSERT_EQ(processed.load(), pushed) << "round " << round;
+  }
+  stop.store(true);
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(processed.load(), pushed);
+}
+
+TEST(SpscQueue, ConcurrentStressKeepsOrderAndCount) {
+  // Park/unpark stress across both cursors: a small capacity forces the
+  // producer to park on full and the consumer to park on empty thousands of
+  // times; under TSan this exercises the Dekker handshake from both sides.
+  constexpr int kTotal = 20000;
+  SpscQueue<int> q(32);
+  std::thread producer([&] {
+    int next = 0;
+    std::vector<int> batch;
+    while (next < kTotal) {
+      const int n = 1 + next % 7;
+      for (int i = 0; i < n && next < kTotal; ++i) batch.push_back(next++);
+      ASSERT_TRUE(q.PushAll(batch));
+      EXPECT_TRUE(batch.empty());
+    }
+    q.Close();
+  });
+  std::vector<int> out;
+  int expect = 0;
+  while (true) {
+    const std::size_t n = q.PopBatchFor(16, nanoseconds(500'000), out);
+    if (n == 0) {
+      if (q.closed() && q.Empty()) break;
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], expect) << "FIFO order violated";
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expect, kTotal);
 }
 
 // ---------------------------------------------------------------- fixtures
@@ -978,6 +1185,221 @@ TEST(LocalEngineFaults, StuckUdfSurfacesAsTeardownFailure) {
     // Unstick the abandoned thread; the engine destructor joins it.
     release.store(true);
   }
+}
+
+// ----------------------------------------------------------- task chaining
+
+// Windowed SINK for the fused-member timer test: counts records per window
+// and banks the count into shared state on each timer (no emission -- a
+// sink has no output edge).
+class WindowedCountSink final : public Udf {
+ public:
+  explicit WindowedCountSink(SinkState* state) : state_(state) {}
+  void OnRecord(const Record&, Collector&) override { ++count_; }
+  SimDuration TimerPeriod() const override { return FromMillis(50); }
+  void OnTimer(Collector&) override {
+    if (count_ == 0) return;
+    MutexLock lock(state_->mutex);
+    state_->values.push_back(count_);
+    count_ = 0;
+  }
+  LatencyMode latency_mode() const override { return LatencyMode::kReadWrite; }
+
+ private:
+  SinkState* state_;
+  int count_ = 0;
+};
+
+TEST(LocalEngineChaining, FusedPipelineDeliversExactlyOnce) {
+  // Mid -> Snk fuses (equal parallelism 1); Src -> Mid cannot (a source
+  // never heads a chain).  Delivery must be exactly-once through the fused
+  // path, the chain must show up in the telemetry, and final_parallelism
+  // must still name every ORIGINAL vertex -- fused members included.
+  constexpr int kTotal = 500;
+  SinkState state;
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  LocalEngine engine(LinearGraph(1, 1), opts);
+  engine.SetSource("Src", [total = kTotal](std::uint32_t) {
+    return std::make_unique<CountingSource>(total, milliseconds(0));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(3); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  const EngineResult result = engine.Run(FromSeconds(30));
+
+  EXPECT_TRUE(result.clean()) << result.first_failure();
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(result.chain_forms, 1u);
+  EXPECT_EQ(result.chain_breaks, 0u);  // single epoch, never dissolved
+  EXPECT_EQ(result.final_parallelism.at("Src"), 1u);
+  EXPECT_EQ(result.final_parallelism.at("Mid"), 1u);
+  EXPECT_EQ(result.final_parallelism.at("Snk"), 1u);
+}
+
+TEST(LocalEngineChaining, ChainingOffDeliversTheSameThroughRealQueues) {
+  constexpr int kTotal = 500;
+  SinkState state;
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.chaining = false;
+  LocalEngine engine(LinearGraph(1, 1), opts);
+  engine.SetSource("Src", [total = kTotal](std::uint32_t) {
+    return std::make_unique<CountingSource>(total, milliseconds(0));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(3); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  const EngineResult result = engine.Run(FromSeconds(30));
+
+  EXPECT_TRUE(result.clean()) << result.first_failure();
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(result.chain_forms, 0u);
+  EXPECT_EQ(result.chain_breaks, 0u);
+}
+
+TEST(LocalEngineChaining, SpscBackpressuredPipelineDeliversExactly) {
+  // Chaining off isolates the SPSC selection: every edge here has exactly
+  // one producer task, so both hops ride the lock-free ring.  A tiny
+  // capacity keeps the flow backpressured, stressing park/unpark.
+  constexpr int kTotal = 2000;
+  SinkState state;
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.chaining = false;
+  opts.spsc_channels = true;
+  opts.queue_capacity = 8;
+  LocalEngine engine(LinearGraph(1, 1), opts);
+  engine.SetSource("Src", [total = kTotal](std::uint32_t) {
+    return std::make_unique<CountingSource>(total, milliseconds(0));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(3); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  const EngineResult result = engine.Run(FromSeconds(30));
+
+  EXPECT_TRUE(result.clean()) << result.first_failure();
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineChaining, FusedMemberTimerStillFires) {
+  // A windowed UDF in the fused position: its timer has no thread of its
+  // own, so the chain head must drive it between batches.
+  SinkState state;
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  LocalEngine engine(LinearGraph(1, 1), opts);
+  engine.SetSource("Src", [](std::uint32_t) {
+    return std::make_unique<CountingSource>(150, milliseconds(1));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(1); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t) { return std::make_unique<WindowedCountSink>(&state); });
+  const EngineResult result = engine.Run(FromSeconds(20));
+
+  EXPECT_GE(result.chain_forms, 1u);
+  long long total = 0;
+  std::size_t windows = 0;
+  {
+    MutexLock lock(state.mutex);
+    for (int v : state.values) total += v;
+    windows = state.values.size();
+  }
+  EXPECT_EQ(total, 150);  // every record counted in some window
+  EXPECT_GT(windows, 1u);  // the member timer fired repeatedly mid-stream
+}
+
+TEST(LocalEngineChaining, RescaleBreaksTheChainDynamically) {
+  // Chains are epoch-scoped: the run starts with Mid -> Snk fused (both
+  // p=1); the scaler then raises Mid's parallelism, which must dissolve the
+  // chain (unequal parallelism) without losing a record.
+  constexpr int kTotal = 1500;
+  SinkState state;
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.queue_capacity = 4;
+  opts.measurement_interval = FromMillis(200);
+  opts.adjustment_interval = FromMillis(800);
+  opts.scaler.enabled = true;
+  JobGraph g = LinearGraph(1, 4, WiringPattern::kRoundRobin, /*elastic=*/true);
+  const LatencyConstraint constraint{
+      JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}}), FromMillis(30),
+      FromSeconds(10), "c"};
+  LocalEngine engine(std::move(g), opts);
+  engine.SetSource("Src", [total = kTotal](std::uint32_t) {
+    return std::make_unique<CountingSource>(total, milliseconds(0));
+  });
+  engine.SetUdf("Mid",
+                [](std::uint32_t) { return std::make_unique<ScaleUdf>(5, milliseconds(1)); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  engine.AddConstraint(constraint);
+  const EngineResult result = engine.Run(FromSeconds(60));
+
+  EXPECT_GE(result.rescales, 1u);
+  EXPECT_GE(result.chain_forms, 1u);   // the first epoch fused Mid -> Snk
+  EXPECT_GE(result.chain_breaks, 1u);  // the rescale rebuild dissolved it
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 5LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineChaining, FaultInFusedMemberNamesTheMemberVertex) {
+  // The throw happens inside the fused Snk UDF on Mid's thread: the failure
+  // event must name Snk (the ORIGINAL vertex), recovery must restart the
+  // carrier task, and replay must stay exactly-once.
+  constexpr int kTotal = 1000;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Snk", 0, /*nth=*/300);
+  const EngineResult result =
+      RunFaultJob(kTotal, FailurePolicy::kRestartTask, &injector, &state);
+
+  EXPECT_GE(result.chain_forms, 1u);
+  EXPECT_GE(result.restarts, 1u);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.failures.front().vertex, "Snk");
+  EXPECT_TRUE(result.failures.front().recovered) << result.first_failure();
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineChaining, FaultInFusedMemberEpochRestartReformsTheChain) {
+  // kRestartEpoch tears the whole epoch down and rebuilds it: the chain
+  // dissolves with the epoch (one break) and re-forms in the new one (a
+  // second form), and the salvaged backlog still arrives exactly once.
+  constexpr int kTotal = 1000;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Snk", 0, /*nth=*/300);
+  const EngineResult result =
+      RunFaultJob(kTotal, FailurePolicy::kRestartEpoch, &injector, &state);
+
+  EXPECT_GE(result.restarts, 1u);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.failures.front().vertex, "Snk");
+  EXPECT_TRUE(result.failures.front().recovered) << result.first_failure();
+  EXPECT_EQ(result.chain_forms, 2u);
+  EXPECT_EQ(result.chain_breaks, 1u);
+  EXPECT_EQ(result.records_delivered, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(SumOfValues(state), 3LL * kTotal * (kTotal - 1) / 2);
+}
+
+TEST(LocalEngineChaining, FaultInFusedMemberFailFastTerminates) {
+  constexpr int kTotal = 5000;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.ThrowAtRecord("Snk", 0, /*nth=*/100);
+  const EngineResult result =
+      RunFaultJob(kTotal, FailurePolicy::kFailFast, &injector, &state);
+
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.failures.front().vertex, "Snk");
+  EXPECT_FALSE(result.failures.front().recovered);
+  EXPECT_EQ(result.restarts, 0u);
+  EXPECT_LT(result.records_delivered, static_cast<std::uint64_t>(kTotal));
 }
 
 // ---------------------------------------------------- allocation regression
