@@ -26,10 +26,18 @@
 // default configuration).  `--chaining on|off` / `--spsc on|off` override
 // the BASE rows, e.g. to measure recovery overhead under fusion.
 //
+// Overload mode: `--overload-burst` replaces the shipping rows with a
+// saturation scenario -- a full-blast source against a ~200 us/record map
+// (offered load far over capacity, no scaling headroom) under a 5 ms
+// constraint -- run twice: guard off (baseline: queues fill, the constraint
+// silently fails) and guard on (the DESIGN.md §11 ladder sheds at
+// admission).  The guard-on row is "exact" when the shed accounting closes:
+// emitted == delivered + shed with zero redelivery.
+//
 // Usage: micro_engine [--records N] [--queue N] [--batch N] [--seed S]
 //                     [--payload-size 8|24|64] [--chaining on|off]
 //                     [--spsc on|off] [--fail-at N] [--policy P]
-//                     [--tsv] [--json]
+//                     [--overload-burst] [--tsv] [--json]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -159,6 +167,26 @@ class NullSink final : public Udf {
   void OnRecord(const Record&, Collector&) override {}
 };
 
+// A deliberately slow map for the overload scenario: spins ~`busy` per
+// record so the stage's capacity is a known constant and a full-blast
+// source oversubscribes it by orders of magnitude.
+template <typename P>
+class BusyMulUdf final : public Udf {
+ public:
+  explicit BusyMulUdf(std::chrono::microseconds busy) : busy_(busy) {}
+
+  void OnRecord(const Record& r, Collector& out) override {
+    const auto until = std::chrono::steady_clock::now() + busy_;
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    out.Emit(runtime::MakeRecord<P>(
+        MakePayload<P>(PayloadValue<P>(runtime::Get<P>(r)) * 3), r.key));
+  }
+
+ private:
+  std::chrono::microseconds busy_;
+};
+
 struct Row {
   std::string config;
   int records = 0;
@@ -170,6 +198,8 @@ struct Row {
   std::uint32_t restarts = 0;
   std::uint64_t redelivered = 0;
   double allocs_per_record = -1;  // < 0: counting allocator not built in
+  std::uint64_t shed = 0;         // --overload-burst rows only
+  std::uint32_t shed_windows = 0;
 };
 
 struct FaultConfig {
@@ -246,6 +276,71 @@ Row RunOnce(const char* name, ShippingStrategy shipping, int records,
   return row;
 }
 
+// One saturation run for --overload-burst: full-blast source, ~200 us/record
+// map, 5 ms constraint, no elastic headroom.  With `guard` off this is the
+// baseline failure mode (the run simply takes offered/capacity as long and
+// the constraint sits violated); with it on, the overload ladder sheds at
+// admission and the accounting must close exactly.
+template <typename P>
+Row RunOverloadBurst(const char* name, int records, std::uint32_t batch_capacity,
+                     bool guard) {
+  JobGraph g;
+  const auto src = g.AddVertex({.name = "Src", .parallelism = 1, .max_parallelism = 1});
+  const auto map = g.AddVertex({.name = "Map", .parallelism = 1, .max_parallelism = 1});
+  const auto snk = g.AddVertex({.name = "Snk", .parallelism = 1, .max_parallelism = 1});
+  g.Connect(src, map, WiringPattern::kRoundRobin);
+  g.Connect(map, snk, WiringPattern::kRoundRobin);
+
+  LocalEngineOptions opts;
+  opts.shipping = esp::ShippingStrategy::kAdaptive;
+  opts.queue_capacity = 64;  // small on purpose: a crisp latency signal
+  opts.batch_capacity = batch_capacity;
+  opts.measurement_interval = FromMillis(25);
+  opts.adjustment_interval = FromMillis(100);
+  opts.overload.enabled = guard;
+  const LatencyConstraint constraint{
+      JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}}), FromMillis(5),
+      FromSeconds(10), "burst"};
+
+  LocalEngine engine(std::move(g), opts);
+  engine.SetSource("Src", [records](std::uint32_t) {
+    return std::make_unique<BlastSource<P>>(records);
+  });
+  engine.SetUdf("Map", [](std::uint32_t) {
+    return std::make_unique<BusyMulUdf<P>>(std::chrono::microseconds(200));
+  });
+  engine.SetUdf("Snk", [](std::uint32_t) { return std::make_unique<NullSink>(); });
+  engine.AddConstraint(constraint);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const EngineResult result = engine.Run(FromSeconds(300));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.config = name;
+  row.records = records;
+  row.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  row.rate = static_cast<double>(result.records_delivered) / row.elapsed_s;
+  row.p50_ms = result.latency.Quantile(0.5) * 1e3;
+  row.p99_ms = result.latency.Quantile(0.99) * 1e3;
+  row.restarts = result.restarts;
+  row.redelivered = result.records_redelivered;
+  row.shed = result.records_shed;
+  row.shed_windows = result.shed_windows;
+  if (guard) {
+    // The guard's contract: the whole stream is admitted-or-shed, counted
+    // exactly, and shedding actually engaged under this much oversubscription.
+    row.exact = result.records_emitted == static_cast<std::uint64_t>(records) &&
+                result.records_emitted ==
+                    result.records_delivered + result.records_shed &&
+                result.records_redelivered == 0 && result.records_shed > 0;
+  } else {
+    row.exact = result.clean() &&
+                result.records_delivered == static_cast<std::uint64_t>(records);
+  }
+  return row;
+}
+
 // Runs the three shipping strategies (base rows, chaining/spsc as given)
 // plus the fast-path comparison rows on the adaptive strategy.
 template <typename P>
@@ -275,7 +370,10 @@ std::vector<Row> RunAll(int records, int queue, int batch, const FaultConfig& fc
 int main(int argc, char** argv) {
   using namespace esp::bench;
 
-  const int records = ArgInt(argc, argv, "--records", 300'000);
+  // The overload scenario runs against a ~200 us/record map, so its default
+  // record count is sized to keep the guard-off baseline around 4 s.
+  const bool overload_burst = HasFlag(argc, argv, "--overload-burst");
+  const int records = ArgInt(argc, argv, "--records", overload_burst ? 20'000 : 300'000);
   const int queue = ArgInt(argc, argv, "--queue", 1024);
   const int batch = ArgInt(argc, argv, "--batch", 64);
   const int payload_size = ArgInt(argc, argv, "--payload-size", 8);
@@ -303,15 +401,25 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Row> rows;
+  const auto run_rows = [&](auto tag) {
+    using P = decltype(tag);
+    if (overload_burst) {
+      const auto b = static_cast<std::uint32_t>(batch);
+      rows.push_back(RunOverloadBurst<P>("burst/guard-off", records, b, false));
+      rows.push_back(RunOverloadBurst<P>("burst/guard-on", records, b, true));
+    } else {
+      rows = RunAll<P>(records, queue, batch, fc, chaining, spsc);
+    }
+  };
   switch (payload_size) {
     case 8:
-      rows = RunAll<int>(records, queue, batch, fc, chaining, spsc);
+      run_rows(int{});
       break;
     case 24:
-      rows = RunAll<Payload24>(records, queue, batch, fc, chaining, spsc);
+      run_rows(Payload24{});
       break;
     case 64:
-      rows = RunAll<Payload64>(records, queue, batch, fc, chaining, spsc);
+      run_rows(Payload64{});
       break;
     default:
       std::fprintf(stderr, "unknown --payload-size %d (want 8, 24 or 64)\n",
@@ -319,9 +427,9 @@ int main(int argc, char** argv) {
       return 2;
   }
 
-  std::printf("#%11s %10s %10s %12s %12s %12s %6s %8s %8s %10s\n", "config",
-              "records", "time[s]", "records/s", "p50[ms]", "p99[ms]", "exact",
-              "restarts", "redeliv", "allocs/rec");
+  std::printf("#%15s %10s %10s %12s %12s %12s %6s %8s %8s %10s %6s %10s\n",
+              "config", "records", "time[s]", "records/s", "p50[ms]", "p99[ms]",
+              "exact", "restarts", "redeliv", "shed", "shedw", "allocs/rec");
   for (const Row& r : rows) {
     char allocs[32];
     if (r.allocs_per_record >= 0) {
@@ -329,21 +437,22 @@ int main(int argc, char** argv) {
     } else {
       std::snprintf(allocs, sizeof(allocs), "%10s", "n/a");
     }
-    std::printf("%12s %10d %10.3f %12.0f %12.3f %12.3f %6s %8u %8llu %s\n",
+    std::printf("%16s %10d %10.3f %12.0f %12.3f %12.3f %6s %8u %8llu %10llu %6u %s\n",
                 r.config.c_str(), r.records, r.elapsed_s, r.rate, r.p50_ms, r.p99_ms,
                 r.exact ? "yes" : "NO", r.restarts,
-                static_cast<unsigned long long>(r.redelivered), allocs);
+                static_cast<unsigned long long>(r.redelivered),
+                static_cast<unsigned long long>(r.shed), r.shed_windows, allocs);
   }
 
   if (HasFlag(argc, argv, "--tsv")) {
     std::ofstream out("micro_engine.tsv");
     out << "config\trecords\ttime_s\trecords_per_s\tp50_ms\tp99_ms\texact\trestarts"
-           "\tredelivered\tallocs_per_record\n";
+           "\tredelivered\tshed\tshed_windows\tallocs_per_record\n";
     for (const Row& r : rows) {
       out << r.config << '\t' << r.records << '\t' << r.elapsed_s << '\t' << r.rate
           << '\t' << r.p50_ms << '\t' << r.p99_ms << '\t' << (r.exact ? 1 : 0) << '\t'
-          << r.restarts << '\t' << r.redelivered << '\t' << r.allocs_per_record
-          << '\n';
+          << r.restarts << '\t' << r.redelivered << '\t' << r.shed << '\t'
+          << r.shed_windows << '\t' << r.allocs_per_record << '\n';
     }
     std::printf("wrote micro_engine.tsv\n");
   }
@@ -360,6 +469,7 @@ int main(int argc, char** argv) {
       out << "    {\"config\": \"" << r.config << "\", \"records_per_s\": " << r.rate
           << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
           << ", \"exact\": " << (r.exact ? "true" : "false")
+          << ", \"shed\": " << r.shed << ", \"shed_windows\": " << r.shed_windows
           << ", \"allocs_per_record\": " << r.allocs_per_record << "}"
           << (i + 1 < rows.size() ? "," : "") << "\n";
     }

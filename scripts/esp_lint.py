@@ -29,6 +29,12 @@ hot-path-alloc       The per-record hot path (src/runtime/record.h,
 bare-nolint          Every NOLINT marker must carry a specific check name and
                      a reason: NOLINT(<check>) followed by an explanation on
                      the same line.
+swallowed-exception  Runtime code (src/runtime/) must not contain a
+                     `catch (...)` whose block neither rethrows nor records
+                     the failure (ReportTaskFailure / FailureEvent /
+                     failures_).  A silently swallowed exception turns a task
+                     crash into a wedge the supervisor cannot see; every
+                     failure must reach the FailureEvent log or propagate.
 
 Suppressions
 ------------
@@ -77,6 +83,46 @@ NOLINT_OK_RE = re.compile(r"^\((?P<checks>[\w\-.,*]+)\)\s*(?P<reason>\S.*)?$")
 
 THREAD_ANNOTATIONS_HDR = Path("src/common/thread_annotations.h")
 
+CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+# A catch-all block is fine when it rethrows (bare `throw;`) or records the
+# failure where the supervisor can see it.
+SWALLOW_OK_RE = re.compile(r"\bthrow\b|\bReportTaskFailure\b|\bFailureEvent\b|\bfailures_\b")
+
+
+def check_swallowed_exceptions(rel: Path, text: str, violations: list[str]) -> None:
+    """Block-level rule: `catch (...)` in src/runtime must rethrow or record.
+
+    The per-line scanner cannot see across the catch block, so this pass
+    re-reads the file text, brace-matches each catch-all body and checks it
+    for a rethrow or a failure-recording call.
+    """
+    lines = text.splitlines()
+    for m in CATCH_ALL_RE.finditer(text):
+        lineno = text.count("\n", 0, m.start()) + 1
+        catch_line = lines[lineno - 1] if lineno <= len(lines) else ""
+        allow = ALLOW_RE.search(catch_line)
+        if allow and allow.group(1) == "swallowed-exception":
+            continue
+        brace = text.find("{", m.end())
+        if brace < 0:
+            continue
+        depth = 0
+        i = brace
+        while i < len(text):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        body = text[brace:i + 1]
+        if not SWALLOW_OK_RE.search(body):
+            violations.append(
+                f"{rel}:{lineno}: [swallowed-exception] catch (...) in runtime "
+                f"code neither rethrows nor records a FailureEvent; a swallowed "
+                f"exception is a crash the supervisor cannot see")
+
 
 def tracked_sources() -> list[Path]:
     out = subprocess.run(
@@ -106,6 +152,9 @@ def main() -> int:
         except OSError as err:
             violations.append(f"{rel}: unreadable ({err})")
             continue
+
+        if in_runtime:
+            check_swallowed_exceptions(rel, text, violations)
 
         in_block_comment = False
         for lineno, raw_line in enumerate(text.splitlines(), start=1):

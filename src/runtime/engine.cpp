@@ -24,6 +24,22 @@ namespace {
 constexpr std::size_t kPopBatch = 64;
 }  // namespace
 
+const char* ToString(FailureAction action) {
+  switch (action) {
+    case FailureAction::kNone:
+      return "none";
+    case FailureAction::kRestart:
+      return "restart";
+    case FailureAction::kQuarantine:
+      return "quarantine";
+    case FailureAction::kShedEnter:
+      return "shed-enter";
+    case FailureAction::kShedExit:
+      return "shed-exit";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------- entities
 
 struct LocalEngine::Channel {
@@ -91,6 +107,7 @@ struct LocalEngine::LocalTask {
   }
   bool QueueClosed() const { return spsc ? spsc->closed() : queue->closed(); }
   bool QueueEmpty() const { return spsc ? spsc->Empty() : queue->Empty(); }
+  std::size_t QueueSize() const { return spsc ? spsc->size() : queue->size(); }
   std::vector<Envelope> QueueDrainAll() {
     return spsc ? spsc->DrainAll() : queue->DrainAll();
   }
@@ -138,6 +155,30 @@ struct LocalEngine::LocalTask {
   // in-place restart.
   std::atomic<bool> failed{false};
   std::vector<Envelope> salvage;
+
+  // ---- overload guard (qos/overload.h, DESIGN.md §11).
+  // Records this task absorbed as shed: admission drops for sources,
+  // records stranded in / dropped at the closed queue for a quarantined
+  // task.  Harvested (exchange) like the other counter shards.
+  std::atomic<std::uint64_t> shed_n{0};
+  // Admission-shed RNG (source threads only): seeded deterministically from
+  // OverloadOptions::shed_seed and the (vertex, subtask) id at epoch build,
+  // so a fixed seed sheds an identical record set run-to-run.
+  Rng shed_rng{1};
+  // Raised by the control thread when the watchdog isolates this task.  The
+  // task thread checks it before every queue pop (and inside the injected
+  // wedge loop) and exits WITHOUT touching the queue once raised -- that is
+  // what lets the control thread account the stranded backlog race-free
+  // against the lock-free SPSC ring.  Producers read it to attribute drops
+  // at the closed queue.
+  std::atomic<bool> quarantined{false};
+  // Progress heartbeat: engine-time ns of the last queue-pop return,
+  // stamped by the task thread every loop iteration (>= 1 kHz when idle,
+  // thanks to the 1 ms pop timeout), read by the watchdog.  Non-empty queue
+  // + stale heartbeat = wedged.
+  std::atomic<std::int64_t> last_progress_ns{0};
+  // Degraded-mode metric thinning counter (touched under sampler_mutex).
+  std::uint64_t metric_seq = 0;
   std::size_t last_failure_index = static_cast<std::size_t>(-1);  // failure_mutex_
   bool abandoned = false;  ///< reported stuck at teardown (control thread only)
   FaultBinding fault;
@@ -176,6 +217,20 @@ class LocalEngine::RoutingCollector final : public Collector {
     const std::int64_t now = now_hint_ns_ != 0 ? now_hint_ns_ : engine_->NowNs();
     if (record.source_emit_ns == 0) record.source_emit_ns = now;
     ++emitted_;
+
+    // Admission shedding (sources only): the overload guard's shed ratio is
+    // one lock-free ppm load; the drop decision is deterministic in the
+    // per-task seeded RNG.  The record counts as emitted AND shed -- never
+    // entering the flow -- which keeps emitted == delivered + shed exact.
+    if (task_->is_source) {
+      const std::uint32_t shed_ppm =
+          engine_->shed_ratio_ppm_.load(std::memory_order_relaxed);
+      if (shed_ppm != 0 &&
+          task_->shed_rng.Bernoulli(static_cast<double>(shed_ppm) * 1e-6)) {
+        task_->shed_n.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
 
     // Fused edge: hand the record to the chained downstream UDF synchronously
     // -- no channel buffer, no envelope, no queue hop.
@@ -219,7 +274,10 @@ class LocalEngine::RoutingCollector final : public Collector {
 // ------------------------------------------------------------ construction
 
 LocalEngine::LocalEngine(JobGraph graph, LocalEngineOptions options)
-    : graph_(std::move(graph)), options_(options), scaler_(options.scaler) {
+    : graph_(std::move(graph)),
+      options_(options),
+      scaler_(options.scaler),
+      overload_(options.overload) {
   backoff_rng_ = Rng(options_.recovery.jitter_seed);
   managers_.reserve(options_.qos_manager_count);
   for (std::size_t i = 0; i < options_.qos_manager_count; ++i) {
@@ -239,6 +297,12 @@ LocalEngine::~LocalEngine() {
   // memory-safe option (a detached thread waking later would touch freed
   // queues and condition variables).
   for (auto& task : tasks_) {
+    if (task->thread.joinable()) task->thread.join();
+  }
+  // Quarantined (wedged) threads release on shutdown_ at the latest; they
+  // reference graveyarded queues/channels, so they too must be collected
+  // before destruction proceeds.
+  for (auto& task : quarantined_tasks_) {
     if (task->thread.joinable()) task->thread.join();
   }
 }
@@ -369,7 +433,24 @@ void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>& batch) {
   // capacity in the channel's spare buffer so the next flush cycle reuses
   // it.  (The spare may legitimately be occupied -- e.g. a control-thread
   // force-flush raced a task-thread flush -- then the chunk is just freed.)
-  channel.consumer->QueuePush(batch);
+  //
+  // A false return means the queue is CLOSED and the records were dropped.
+  // When either endpoint is quarantined that drop is the overload guard
+  // working as designed -- account it as shed against the wedged vertex.
+  // Either way the batch must be emptied here: parking a still-full batch
+  // as the spare would re-deliver the dropped records on a later flush.
+  if (!channel.consumer->QueuePush(batch)) {
+    LocalTask* blame =
+        channel.consumer->quarantined.load(std::memory_order_seq_cst)
+            ? channel.consumer
+        : channel.producer->quarantined.load(std::memory_order_seq_cst)
+            ? channel.producer
+            : nullptr;
+    if (blame != nullptr) {
+      blame->shed_n.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+    batch.clear();
+  }
   if (batch.capacity() == 0) return;
   MutexLock lock(channel.mutex);
   if (channel.spare.capacity() == 0) channel.spare = std::move(batch);
@@ -518,23 +599,30 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
   // covers exactly the completed prefix so redelivery cannot double-count.
   const auto post_batch_metrics = [&](std::size_t count) {
     std::uint64_t delivered = 0;
+    // Degraded-rung metric thinning: only every stride-th record feeds the
+    // service-time/latency samplers.  The delivered counter and the sink
+    // latency shard stay exact -- thinning trades model fidelity for
+    // throughput, never accounting accuracy.
+    const std::uint32_t stride = metric_stride_.load(std::memory_order_relaxed);
     {
       MutexLock lock(task->sampler_mutex);
       for (std::size_t i = 0; i < count; ++i) {
-        const double service = static_cast<double>(end_ns[i] - start_ns[i]) * 1e-9;
-        task->sampler.RecordServiceTime(service);
-        if (task->latency_mode == LatencyMode::kReadReady) {
-          task->sampler.OfferTaskLatency(service);
-        } else {
-          if (task->rw_pending.size() < 256 &&
-              task->rng.Bernoulli(options_.latency_sample_probability)) {
-            task->rw_pending.push_back(start_ns[i]);
-          }
-          if (emitted_any[i]) {
-            for (std::int64_t t : task->rw_pending) {
-              task->sampler.OfferTaskLatency(static_cast<double>(end_ns[i] - t) * 1e-9);
+        if (stride <= 1 || ++task->metric_seq % stride == 0) {
+          const double service = static_cast<double>(end_ns[i] - start_ns[i]) * 1e-9;
+          task->sampler.RecordServiceTime(service);
+          if (task->latency_mode == LatencyMode::kReadReady) {
+            task->sampler.OfferTaskLatency(service);
+          } else {
+            if (task->rw_pending.size() < 256 &&
+                task->rng.Bernoulli(options_.latency_sample_probability)) {
+              task->rw_pending.push_back(start_ns[i]);
             }
-            task->rw_pending.clear();
+            if (emitted_any[i]) {
+              for (std::int64_t t : task->rw_pending) {
+                task->sampler.OfferTaskLatency(static_cast<double>(end_ns[i] - t) * 1e-9);
+              }
+              task->rw_pending.clear();
+            }
           }
         }
         if (task->is_sink && batch[i].record.source_emit_ns != 0) {
@@ -549,6 +637,9 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
 
   for (;;) {
     if (shutdown_.load()) break;
+    // Quarantined by the watchdog: exit WITHOUT touching the queue again --
+    // the control thread owns the stranded backlog's accounting from here.
+    if (task->quarantined.load(std::memory_order_seq_cst)) break;
     if (task->fault.crash != nullptr) {
       task->fault.TickCrash(task->vertex_name, task->id.subtask, NowNs());
     }
@@ -568,12 +659,16 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
       const std::int64_t wedge_end =
           w->duration > 0 ? w->at_time + w->duration
                           : std::numeric_limits<std::int64_t>::max();
-      while (!shutdown_.load()) {
+      while (!shutdown_.load() &&
+             !task->quarantined.load(std::memory_order_seq_cst)) {
         const std::int64_t t = NowNs();
         if (t < w->at_time || t >= wedge_end) break;
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
-      if (shutdown_.load()) break;
+      if (shutdown_.load() ||
+          task->quarantined.load(std::memory_order_seq_cst)) {
+        break;
+      }
     }
     // busy is raised under the queue lock so the rescale drain detector
     // never observes "queue empty + idle" while records are in hand; it
@@ -581,6 +676,9 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
     const std::size_t n =
         task->QueuePop(kPopBatch, nanoseconds(1'000'000), batch, &task->busy);
     const std::int64_t now = NowNs();
+    // Watchdog heartbeat: the 1 ms pop timeout bounds the stamp interval, so
+    // a stale heartbeat means the loop is stuck, not merely idle.
+    task->last_progress_ns.store(now, std::memory_order_relaxed);
 
     bool timer_fired = false;
     if (timer_period > 0 && now >= task->next_timer_ns) {
@@ -878,6 +976,11 @@ void LocalEngine::BuildEpoch() {
         if (options_.fault_injector != nullptr) {
           task->fault = options_.fault_injector->Resolve(jv.name, tid.subtask);
         }
+        // Deterministic admission shedding: the drop stream is a pure
+        // function of the configured seed and the task's stable id.
+        task->shed_rng = Rng(
+            options_.overload.shed_seed ^
+            ((static_cast<std::uint64_t>(Value(tid.vertex)) << 32) | tid.subtask));
       }
       task->chained = chained_member;
       task->outputs.assign(jv.outputs.size(), {});
@@ -973,6 +1076,7 @@ void LocalEngine::StartThreads() {
     if (task->chained) continue;  // fused members run on their head's thread
     if (task->thread.joinable()) continue;  // surviving source thread
     LocalTask* raw = task.get();
+    raw->last_progress_ns.store(NowNs(), std::memory_order_relaxed);
     task->thread = raw->is_source ? std::thread([this, raw] { SourceLoop(raw); })
                                   : std::thread([this, raw] { TaskLoop(raw); });
   }
@@ -1064,7 +1168,8 @@ void LocalEngine::ReadmitSalvage() {
   salvage_.clear();
 }
 
-bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
+bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions,
+                               LocalTask* quarantined) {
   const std::int64_t deadline = NowNs() + options_.recovery.drain_timeout;
 
   // 1. Park the sources.  A source can FINISH instead of parking (Produce
@@ -1112,12 +1217,23 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
       // Fused members have no queue or thread of their own; the head's busy
       // flag and the channel-buffer scan below cover their in-flight work.
       if (task->chained) continue;
+      // The wedged task never drains -- its closed queue and its buffers are
+      // accounted separately once its producers quiesce.
+      if (task.get() == quarantined) continue;
       // Read the queue before the busy flag: busy is raised (published)
       // before a pop's items leave, so "empty then not busy" (in that
       // order) can never observe an in-flight record.
       if (!task->QueueEmpty() || task->busy.load()) return false;
     }
     for (auto& channel : channels_) {
+      // Channels into the wedged task are flushed after joins; channels OUT
+      // of it (or out of its fused members) only its stuck thread could
+      // flush -- both are accounted as shed in step 3a instead of drained.
+      if (quarantined != nullptr &&
+          (channel->consumer == quarantined || channel->producer == quarantined ||
+           channel->producer->chain_head == quarantined)) {
+        continue;
+      }
       MutexLock lock(channel->mutex);
       if (!channel->buffer.empty()) return false;
     }
@@ -1143,8 +1259,40 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
     if (!task->is_source) task->QueueClose();
   }
   for (auto& task : tasks_) {
+    if (task.get() == quarantined) continue;  // unjoinable until its wedge ends
     if (!task->is_source && task->thread.joinable()) task->thread.join();
   }
+
+  // 3a (quarantine only).  Account the wedged task's stranded records now
+  // that every producer is parked or joined: inbound channel buffers are
+  // force-flushed into the closed queue (DeliverBatch counts the drop as
+  // shed), the queue backlog is counted where it sits -- draining it from
+  // here would race the wedged consumer if its wedge released at exactly
+  // the wrong moment, and once the quarantined flag is up the task thread
+  // exits without popping, so the count is stable -- and output batches only
+  // the wedged thread could flush are counted and cleared.  If that thread
+  // already force-flushed them on its way out, the closed downstream queues
+  // counted them instead: exactly once either way.
+  if (quarantined != nullptr) {
+    for (auto& channel : channels_) {
+      if (channel->consumer == quarantined) FlushChannel(*channel, /*force=*/true);
+    }
+    quarantined->shed_n.fetch_add(quarantined->QueueSize(),
+                                  std::memory_order_relaxed);
+    const auto shed_outputs = [](LocalTask* t) {
+      for (auto& per_edge : t->outputs) {
+        for (Channel* ch : per_edge) {
+          MutexLock lock(ch->mutex);
+          t->shed_n.fetch_add(ch->buffer.size(), std::memory_order_relaxed);
+          ch->buffer.clear();
+          ch->first_entry_ns.store(0, std::memory_order_relaxed);
+        }
+      }
+    };
+    shed_outputs(quarantined);
+    for (LocalTask* m : quarantined->chain_members) shed_outputs(m);
+  }
+
   for (auto& task : tasks_) {
     if (!task->is_source) HarvestTaskMetrics(task.get());
   }
@@ -1155,6 +1303,7 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
   std::uint32_t recovered = 0;
   for (auto& task : tasks_) {
     if (task->is_source || !task->HasQueue()) continue;
+    if (task.get() == quarantined) continue;  // backlog already counted shed
     std::vector<Envelope> s = std::move(task->salvage);
     task->salvage.clear();
     std::vector<Envelope> rest = task->QueueDrainAll();
@@ -1172,6 +1321,7 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
       MutexLock lock(failure_mutex_);
       if (task->last_failure_index < failures_.size()) {
         failures_[task->last_failure_index].recovered = true;
+        failures_[task->last_failure_index].action = FailureAction::kRestart;
       }
     }
   }
@@ -1181,6 +1331,23 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
   // before the new threads start so replayed records precede new arrivals.
   for (const ScalingAction& a : actions) {
     graph_.SetParallelism(a.vertex, a.new_parallelism);
+  }
+  // 4a (quarantine only).  The wedged thread is still alive and will touch
+  // its queue, its output channels and downstream queues on the way out, so
+  // the WHOLE old epoch's non-source state moves to the graveyard instead
+  // of being destroyed under it (sources survive into the new epoch as
+  // usual).  Every old queue is closed, so anything the thread still does
+  // is a counted no-op; the destructor joins it once shutdown_ releases the
+  // wedge.
+  if (quarantined != nullptr) {
+    for (auto& task : tasks_) {
+      if (!task->is_source) quarantined_tasks_.push_back(std::move(task));
+    }
+    std::erase_if(tasks_, [](const auto& t) { return t == nullptr; });
+    for (auto& channel : channels_) {
+      quarantined_channels_.push_back(std::move(channel));
+    }
+    channels_.clear();
   }
   BuildEpoch();
   ReadmitSalvage();
@@ -1197,7 +1364,7 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions) {
     }
   }
   if (!actions.empty()) ++result_.rescales;
-  if (recovered > 0) {
+  if (recovered > 0 || quarantined != nullptr) {
     std::vector<std::string> vertices;  // every non-source vertex was rebuilt
     for (JobVertexId v : graph_.VertexIds()) {
       if (!graph_.vertex(v).inputs.empty()) vertices.push_back(graph_.vertex(v).name);
@@ -1294,10 +1461,12 @@ bool LocalEngine::RestartTask(LocalTask* task) {
     MutexLock lock(failure_mutex_);
     if (task->last_failure_index < failures_.size()) {
       failures_[task->last_failure_index].recovered = true;
+      failures_[task->last_failure_index].action = FailureAction::kRestart;
     }
   }
   task->failed.store(false);
   task->done.store(false);
+  task->last_progress_ns.store(NowNs(), std::memory_order_relaxed);
   LocalTask* raw = task;
   task->thread = raw->is_source ? std::thread([this, raw] { SourceLoop(raw); })
                                 : std::thread([this, raw] { TaskLoop(raw); });
@@ -1370,6 +1539,210 @@ bool LocalEngine::Supervise() {
   return true;
 }
 
+// ----------------------------------------------------------- overload guard
+
+LocalEngine::LocalTask* LocalEngine::FindWedgedTask(std::int64_t now) {
+  // Reverse topological order: when a wedged task backs the flow up, its
+  // upstreams stall too (blocked pushing into full queues, heartbeats just
+  // as stale) -- the most DOWNSTREAM stale task is the culprit.  One task
+  // per scan; re-wedging replacements are bounded by the restart budget.
+  const std::vector<JobVertexId> topo = graph_.TopologicalOrder();
+  for (auto v = topo.rbegin(); v != topo.rend(); ++v) {
+    for (auto& tptr : tasks_) {
+      LocalTask* task = tptr.get();
+      if (task->id.vertex != *v) continue;
+      if (task->is_source || task->chained || !task->HasQueue()) continue;
+      if (task->done.load() || task->failed.load()) continue;
+      // Left half-quarantined by an aborted rebuild (drain timeout): retry
+      // the isolation before looking for new wedges.
+      if (task->quarantined.load(std::memory_order_relaxed)) return task;
+      if (task->QueueEmpty()) continue;
+      if (now - task->last_progress_ns.load(std::memory_order_relaxed) >=
+          options_.overload.wedge_deadline) {
+        return task;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool LocalEngine::QuarantineTask(LocalTask* task) {
+  const std::int64_t now = NowNs();
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(Value(task->id.vertex)) << 32) | task->id.subtask;
+  if (now < restart_state_[key].next_restart_ns) return true;  // backoff gate
+  const bool retry = task->quarantined.load(std::memory_order_relaxed);
+  if (!retry) {
+    const double stale_ms =
+        static_cast<double>(now - task->last_progress_ns.load(
+                                      std::memory_order_relaxed)) /
+        1e6;
+    ESP_LOG_ERROR << "watchdog: task " << task->vertex_name << "["
+                  << task->id.subtask << "] made no progress for " << stale_ms
+                  << " ms with a non-empty input queue; quarantining";
+    {
+      MutexLock lock(failure_mutex_);
+      FailureEvent ev;
+      ev.vertex = task->vertex_name;
+      ev.subtask = task->id.subtask;
+      ev.time = now;
+      ev.what = "watchdog: wedged (no progress within the deadline); quarantined";
+      ev.action = FailureAction::kQuarantine;
+      task->last_failure_index = failures_.size();
+      failures_.push_back(std::move(ev));
+    }
+    if (options_.recovery.policy == FailurePolicy::kFailFast) {
+      terminate_.store(true);
+      return false;
+    }
+    RestartState& rs = restart_state_[key];
+    if (rs.count >= options_.recovery.max_restarts_per_task) {
+      ESP_LOG_ERROR << "quarantine budget exhausted for " << task->vertex_name
+                    << "[" << task->id.subtask << "] after " << rs.count
+                    << " isolations; failing fast";
+      terminate_.store(true);
+      return false;
+    }
+    ++rs.count;
+    ++result_.quarantines;
+    // Flag first, close second: a producer that observes the closed queue is
+    // then guaranteed to observe the flag and account its drop as shed.
+    task->quarantined.store(true, std::memory_order_seq_cst);
+    for (LocalTask* m : task->chain_members) {
+      m->quarantined.store(true, std::memory_order_seq_cst);
+    }
+    // The wedge x queue fix: closing the queue wakes producers parked on the
+    // full SPSC ring / BoundedQueue, so no peer ever deadlocks on a wedged
+    // consumer; their subsequent pushes drop and are counted shed above.
+    task->QueueClose();
+  }
+  restart_state_[key].next_restart_ns = now + NextBackoff(restart_state_[key].count);
+  overload_.NoteQuarantine();
+  const bool rebuilt = RebuildEpoch({}, task);
+  overload_.NoteQuarantineResolved();
+  if (rebuilt) {
+    ++result_.restarts;
+    restart_state_[key].next_restart_ns = 0;
+    MutexLock lock(failure_mutex_);
+    if (task->last_failure_index < failures_.size()) {
+      failures_[task->last_failure_index].recovered = true;
+    }
+  }
+  // A failed rebuild (drain timeout) leaves the victim half-quarantined in
+  // tasks_; FindWedgedTask returns it again after the backoff for a retry.
+  return true;
+}
+
+void LocalEngine::OverloadTick(const std::vector<double>& estimates) {
+  if (!options_.overload.enabled) return;
+  const OverloadOptions& oo = options_.overload;
+
+  // Saturation signals from the live epoch's input queues.
+  SaturationSignals sig;
+  std::uint64_t backlog = 0;
+  const double capacity =
+      static_cast<double>(std::max<std::size_t>(1, options_.queue_capacity));
+  for (auto& task : tasks_) {
+    if (task->is_source || task->chained || !task->HasQueue()) continue;
+    const std::size_t depth = task->QueueSize();
+    backlog += depth;
+    sig.max_queue_fill =
+        std::max(sig.max_queue_fill, static_cast<double>(depth) / capacity);
+  }
+  const std::int64_t now = NowNs();
+  if (last_backlog_ns_ >= 0 && now > last_backlog_ns_) {
+    sig.backlog_growth =
+        (static_cast<double>(backlog) - static_cast<double>(last_backlog_)) /
+        (static_cast<double>(now - last_backlog_ns_) * 1e-9);
+  }
+  last_backlog_ = backlog;
+  last_backlog_ns_ = now;
+
+  // Fold per-constraint health.  A violation the scaler can still fix
+  // (enabled, not suppressed, some elastic vertex in the sequence below its
+  // max) is passed to the ladder as AtRisk: elasticity is the first-line
+  // response and shedding must not pre-empt it.
+  const bool scaler_live = options_.scaler.enabled && !scaler_.IsInactive();
+  const auto rank = [](ConstraintHealth h) { return static_cast<int>(h); };
+  ConstraintHealth worst = ConstraintHealth::kHealthy;
+  const LatencyConstraint* worst_constraint = nullptr;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    const double est = i < estimates.size() ? estimates[i] : -1.0;
+    ConstraintHealth h =
+        ClassifyConstraint(est, ToSeconds(constraints_[i].bound), oo, sig);
+    if (h == ConstraintHealth::kViolated) {
+      bool headroom = false;
+      if (scaler_live) {
+        for (JobVertexId v : constraints_[i].sequence.vertices()) {
+          const JobVertex& jv = graph_.vertex(v);
+          if (jv.elastic && jv.parallelism < jv.max_parallelism) {
+            headroom = true;
+            break;
+          }
+        }
+      }
+      if (headroom) {
+        sig.scaler_headroom = true;
+        h = ConstraintHealth::kAtRisk;
+      }
+    }
+    if (rank(h) > rank(worst)) {
+      worst = h;
+      worst_constraint = &constraints_[i];
+    }
+  }
+
+  const OverloadDecision d = overload_.Tick(worst, sig);
+  shed_ratio_ppm_.store(static_cast<std::uint32_t>(d.shed_ratio * 1e6),
+                        std::memory_order_relaxed);
+  metric_stride_.store(d.state == OverloadState::kDegraded
+                           ? std::max<std::uint32_t>(1, oo.degraded_metric_stride)
+                           : 1,
+                       std::memory_order_relaxed);
+  deadline_factor_ =
+      d.state == OverloadState::kDegraded ? oo.degraded_deadline_factor : 1.0;
+  if (d.shed_ratio > 0.0) ++result_.shed_windows;
+
+  const std::string where =
+      worst_constraint != nullptr
+          ? worst_constraint->name
+          : (constraints_.empty() ? std::string("<none>")
+                                  : constraints_.front().name);
+  if (d.shed_entered) {
+    ESP_LOG_WARN << "overload: shedding engaged (constraint '" << where
+                 << "', ratio " << d.shed_ratio << ")";
+    MutexLock lock(failure_mutex_);
+    FailureEvent ev;
+    ev.vertex = where;  // constraint name: shedding has no single vertex
+    ev.time = now;
+    ev.what = "overload guard: admission shedding engaged";
+    ev.action = FailureAction::kShedEnter;
+    shed_enter_event_ = failures_.size();
+    failures_.push_back(std::move(ev));
+  }
+  if (d.shed_exited) {
+    ESP_LOG_INFO << "overload: shedding disengaged";
+    MutexLock lock(failure_mutex_);
+    if (shed_enter_event_ < failures_.size()) {
+      failures_[shed_enter_event_].recovered = true;
+    }
+    shed_enter_event_ = static_cast<std::size_t>(-1);
+    FailureEvent ev;
+    ev.vertex = where;
+    ev.time = now;
+    ev.what = "overload guard: admission shedding disengaged";
+    ev.action = FailureAction::kShedExit;
+    ev.recovered = true;
+    failures_.push_back(std::move(ev));
+  }
+  if (d.degraded_entered) {
+    ESP_LOG_WARN << "overload: entering Degraded (deadlines x"
+                 << oo.degraded_deadline_factor << ", metric stride "
+                 << oo.degraded_metric_stride << ")";
+  }
+  if (d.degraded_exited) ESP_LOG_INFO << "overload: leaving Degraded";
+}
+
 // ------------------------------------------------------------ control loop
 
 // Folds one task's metric shards into result_ and resets them.  Control
@@ -1378,6 +1751,11 @@ bool LocalEngine::Supervise() {
 void LocalEngine::HarvestTaskMetrics(LocalTask* task) {
   result_.records_emitted += task->emitted_n.exchange(0, std::memory_order_relaxed);
   result_.records_delivered += task->delivered_n.exchange(0, std::memory_order_relaxed);
+  const std::uint64_t shed = task->shed_n.exchange(0, std::memory_order_relaxed);
+  if (shed > 0) {
+    result_.records_shed += shed;
+    result_.shed_by_vertex[task->vertex_name] += shed;
+  }
   MutexLock lock(task->sampler_mutex);
   if (task->latency_shard.count() > 0) {
     result_.latency.Merge(task->latency_shard);
@@ -1446,6 +1824,15 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
     // Supervision point: a dying task raised failure_pending_; apply the
     // failure policy (restart / backoff / terminate) before the QoS tick.
     if (failure_pending_.load() && !Supervise()) break;
+    // SLO watchdog: isolate a wedged task (stale heartbeat + non-empty
+    // queue) within wedge_deadline of it wedging -- every 5 ms poll, not
+    // just at adjustment boundaries, so detection is bounded by the
+    // deadline itself.
+    if (options_.overload.enabled && options_.overload.wedge_deadline > 0) {
+      if (LocalTask* wedged = FindWedgedTask(NowNs())) {
+        if (!QuarantineTask(wedged)) break;
+      }
+    }
     if (NowNs() < next_tick) continue;
     next_tick += measurement_ns;
     ControlTick();
@@ -1465,12 +1852,23 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
     }
     result_.estimated_latency.push_back(std::move(estimates));
 
+    // One overload round per adjustment interval: classify, tick the
+    // ladder, actuate (shed ratio, metric stride, deadline factor).
+    OverloadTick(result_.estimated_latency.back());
+
     if (options_.shipping == ShippingStrategy::kAdaptive && !constraints_.empty()) {
       last_deadlines_ = ComputeFlushDeadlines(graph_, constraints_, last_summary_,
                                               last_deadlines_, options_.batching,
                                               chained_edge_list_);
       for (const auto& [edge, deadline] : last_deadlines_) {
-        edge_deadlines_[edge].store(deadline);
+        // Degraded rung: widen flush deadlines to trade batching latency
+        // for throughput while the engine digs out.
+        const SimDuration widened =
+            deadline_factor_ == 1.0
+                ? deadline
+                : static_cast<SimDuration>(static_cast<double>(deadline) *
+                                           deadline_factor_);
+        edge_deadlines_[edge].store(widened);
       }
       for (auto& channel : channels_) {
         channel->flush_deadline.store(FlushDeadlineForEdge(channel->edge),
@@ -1495,6 +1893,9 @@ EngineResult LocalEngine::Run(SimDuration max_duration) {
   TeardownEpoch();
 
   for (auto& task : tasks_) HarvestTaskMetrics(task.get());
+  // Graveyarded tasks keep absorbing shed counts (drops at their closed
+  // queues) until their producers wound down; bank the final tallies.
+  for (auto& task : quarantined_tasks_) HarvestTaskMetrics(task.get());
   for (JobVertexId v : graph_.VertexIds()) {
     result_.final_parallelism[graph_.vertex(v).name] = graph_.vertex(v).parallelism;
   }

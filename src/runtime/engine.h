@@ -35,6 +35,7 @@
 #include "graph/runtime_graph.h"
 #include "graph/sequence.h"
 #include "qos/manager.h"
+#include "qos/overload.h"
 #include "runtime/fault.h"
 #include "runtime/queue.h"
 #include "runtime/record.h"
@@ -96,7 +97,25 @@ struct LocalEngineOptions {
   bool spsc_channels = true;
   /// Optional fault-injection harness (non-owning; must outlive Run).
   FaultInjector* fault_injector = nullptr;
+  /// Overload protection: SLO watchdog + AIMD load shedding + degradation
+  /// ladder (qos/overload.h, DESIGN.md §11).  Off by default; when enabled
+  /// the engine sheds at source admission once a constraint is Violated with
+  /// no scaling headroom, and quarantines wedged tasks within
+  /// overload.wedge_deadline.
+  OverloadOptions overload;
 };
+
+/// What the supervisor did about a FailureEvent (or which overload action an
+/// event records).
+enum class FailureAction : std::uint8_t {
+  kNone,       ///< reported only (fail-fast, budget exhausted, teardown)
+  kRestart,    ///< task restarted in place or via an epoch rebuild
+  kQuarantine, ///< wedged task isolated; producers unparked, epoch rebuilt
+  kShedEnter,  ///< admission shedding engaged for a violated constraint
+  kShedExit,   ///< shedding disengaged after sustained healthy rounds
+};
+
+const char* ToString(FailureAction action);
 
 /// One task failure observed by the supervisor.
 struct FailureEvent {
@@ -105,6 +124,9 @@ struct FailureEvent {
   SimTime time = 0;        ///< engine time (ns since Run started)
   std::string what;        ///< exception message
   bool recovered = false;  ///< true once the supervisor restarted the task
+  /// What the supervisor did (kRestart/kQuarantine) or, for overload events,
+  /// which ladder transition the event records (kShedEnter/kShedExit).
+  FailureAction action = FailureAction::kNone;
 
   std::string Format() const {
     return vertex + "[" + std::to_string(subtask) + "]: " + what;
@@ -136,6 +158,22 @@ struct EngineResult {
   /// counts may exceed the no-fault run by at most this bound when a
   /// failure struck mid-batch.
   std::uint64_t records_redelivered = 0;
+  // ---- overload accounting (qos/overload.h, DESIGN.md §11).  Every record
+  // a source emits is delivered, shed, or (after a mid-batch failure)
+  // covered by the redelivery bound:
+  //   emitted <= delivered + shed <= emitted + redelivered
+  // with exact equality emitted == delivered + shed on runs whose only
+  // interventions are shedding and loop-level quarantines.
+  /// Records dropped at source admission plus records dropped at a
+  /// quarantined task's closed queue (attributed to that task's vertex).
+  std::uint64_t records_shed = 0;
+  /// Adjustment rounds during which a non-zero shed ratio was active.
+  std::uint32_t shed_windows = 0;
+  /// Shed counts by the vertex that absorbed the drop (source vertices for
+  /// admission shedding, the wedged vertex for quarantine drops).
+  std::unordered_map<std::string, std::uint64_t> shed_by_vertex;
+  /// Wedged tasks isolated by the watchdog (graveyard epoch rebuilds).
+  std::uint32_t quarantines = 0;
 
   /// First failure formatted as "Vertex[subtask]: what"; empty on success.
   std::string first_failure() const {
@@ -231,10 +269,14 @@ class LocalEngine {
   /// remainder, re-instantiates the UDF, re-admits the backlog, restarts the
   /// thread.  True on success.
   bool RestartTask(LocalTask* task);
-  /// Stop-the-world epoch rebuild shared by Rescale and restart-epoch.
-  /// `actions` may be empty (pure restart).  True on success; false when the
-  /// drain timed out and the epoch was left as-is.
-  bool RebuildEpoch(const std::vector<ScalingAction>& actions);
+  /// Stop-the-world epoch rebuild shared by Rescale, restart-epoch and
+  /// quarantine.  `actions` may be empty (pure restart).  `quarantined`
+  /// names a wedged task whose thread must NOT be joined (it is parked in
+  /// the graveyard instead; its queue is already closed and drained).  True
+  /// on success; false when the drain timed out and the epoch was left
+  /// as-is.
+  bool RebuildEpoch(const std::vector<ScalingAction>& actions,
+                    LocalTask* quarantined = nullptr);
   /// Pumps failed tasks' queues into their salvage buffers so blocked
   /// producers can make progress during a pause/drain.
   void PumpFailedTasks();
@@ -245,6 +287,25 @@ class LocalEngine {
   void MarkRecoveryTransient(std::int64_t now_ns,
                              const std::vector<std::string>& vertices);
   SimDuration NextBackoff(std::uint32_t restart_count);
+
+  // ---- overload guard (control thread only) ------------------------------
+  /// One watchdog + shed-controller round per adjustment interval:
+  /// classifies every constraint (estimates + saturation signals), ticks the
+  /// degradation ladder, and actuates the decision (shed ratio, metric
+  /// stride, deadline factor, shed-enter/exit events).
+  void OverloadTick(const std::vector<double>& estimates);
+  /// Scans for a task whose loop made no progress for wedge_deadline while
+  /// its input queue is non-empty.  Returns the MOST DOWNSTREAM such task
+  /// (reverse topological order): an upstream task blocked on a wedged
+  /// consumer's backpressure is also stale, but not the culprit.
+  LocalTask* FindWedgedTask(std::int64_t now);
+  /// Isolates a wedged task: closes its queue FIRST (waking producers parked
+  /// on the full SPSC ring / BoundedQueue -- the wedge x SPSC fix), salvages
+  /// its backlog, counts its unflushable output buffers as shed, then
+  /// rebuilds the epoch around it, parking the unjoinable thread in the
+  /// graveyard.  Returns false when the run must terminate (fail-fast
+  /// policy or quarantine budget exhausted).
+  bool QuarantineTask(LocalTask* task);
 
   JobGraph graph_;
   LocalEngineOptions options_;
@@ -260,6 +321,14 @@ class LocalEngine {
   // that stay valid for the epoch.
   std::vector<std::unique_ptr<LocalTask>> tasks_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  // Graveyard: quarantined epochs' tasks and channels.  A wedged thread is
+  // unjoinable until its wedge releases, and it may still touch its own
+  // queue, its output channels, and sibling consumers on the way out, so the
+  // WHOLE old epoch's non-source state stays allocated here (queues closed,
+  // so late pushes are dropped no-ops).  The destructor joins these threads
+  // after shutdown_ releases the wedge.  Control thread only.
+  std::vector<std::unique_ptr<LocalTask>> quarantined_tasks_;
+  std::vector<std::unique_ptr<Channel>> quarantined_channels_;
 
   // Pause/teardown signalling.  control_mutex_ orders the park handshake:
   // a source increments parked_sources_ and waits on control_cv_ under it;
@@ -312,6 +381,26 @@ class LocalEngine {
   /// Per-vertex salvage kept across an epoch rebuild: records drained from
   /// failed tasks' queues, keyed by (vertex name, old subtask).
   std::vector<std::pair<TaskId, std::vector<Envelope>>> salvage_;
+
+  // ---- overload guard state ----------------------------------------------
+  /// Ladder state machine; ticked once per adjustment interval.
+  OverloadController overload_;
+  /// Current admission-shed probability in parts-per-million, written by
+  /// OverloadTick and read lock-free by source threads in Emit.
+  std::atomic<std::uint32_t> shed_ratio_ppm_{0};
+  /// Degraded metric thinning: only every N-th record feeds the samplers
+  /// (1 = exact).  Read by task threads in the post-batch metric pass.
+  std::atomic<std::uint32_t> metric_stride_{1};
+  /// Degraded deadline widening applied to the adaptive flush deadlines
+  /// computed each adjustment round.  Control thread only.
+  double deadline_factor_ = 1.0;
+  /// Backlog (total queued records) of the previous adjustment round, for
+  /// the growth-rate saturation signal.  Control thread only.
+  std::uint64_t last_backlog_ = 0;
+  std::int64_t last_backlog_ns_ = -1;
+  /// failures_ index of the open shed-entered event; marked recovered when
+  /// shedding exits.  Control thread only (index into a guarded vector).
+  std::size_t shed_enter_event_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace esp::runtime

@@ -1,0 +1,246 @@
+// Chaos soak harness (labelled `soak` in CMake): composes FaultInjector
+// schedules -- probabilistic throws, delivery delays, a mid-run wedge -- with
+// bursty overload across a sweep of seeds, and asserts the recovery
+// invariants that every individual mechanism test pins in isolation:
+//
+//   * the run always comes back (no deadlock: a wedged chain head with a
+//     parked SPSC producer is detected and isolated within the watchdog
+//     deadline, never waited out);
+//   * accounting stays inside the documented envelope,
+//       emitted <= delivered + shed <= emitted + redelivered,
+//     for every seed and policy;
+//   * the job keeps making progress (delivered > 0) and every supervisor
+//     intervention is recorded as a FailureEvent with an action.
+//
+// Seed count defaults to 2 for local runs; CI sets ESP_CHAOS_SEEDS=5 and
+// runs this binary under TSan (see .github/workflows/ci.yml `chaos` job).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+#include "runtime/engine.h"
+#include "runtime/record.h"
+
+namespace esp::runtime {
+namespace {
+
+using std::chrono::milliseconds;
+
+int SeedRounds() {
+  if (const char* env = std::getenv("ESP_CHAOS_SEEDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 2;
+}
+
+// Emits `cycles` bursts of `burst` full-blast records separated by `gap`
+// pauses: saturation pulses with recovery room in between.
+class BurstingSource final : public SourceFunction {
+ public:
+  BurstingSource(int cycles, int burst, milliseconds gap)
+      : cycles_(cycles), burst_(burst), gap_(gap) {}
+
+  bool Produce(Collector& out) override {
+    if (cycle_ >= cycles_) return false;
+    out.Emit(MakeRecord<int>(next_, static_cast<std::uint64_t>(next_)));
+    ++next_;
+    if (++in_burst_ >= burst_) {
+      in_burst_ = 0;
+      ++cycle_;
+      if (cycle_ < cycles_ && gap_.count() > 0) std::this_thread::sleep_for(gap_);
+    }
+    return true;
+  }
+
+ private:
+  int cycles_;
+  int burst_;
+  milliseconds gap_;
+  int cycle_ = 0;
+  int in_burst_ = 0;
+  int next_ = 0;
+};
+
+struct ChaosSinkState {
+  Mutex mutex;
+  std::uint64_t count ESP_GUARDED_BY(mutex) = 0;
+};
+
+class CountingSink final : public Udf {
+ public:
+  explicit CountingSink(ChaosSinkState* state) : state_(state) {}
+  void OnRecord(const Record&, Collector&) override {
+    MutexLock lock(state_->mutex);
+    ++state_->count;
+  }
+
+ private:
+  ChaosSinkState* state_;
+};
+
+class BusyUdf final : public Udf {
+ public:
+  void OnRecord(const Record& r, Collector& out) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    out.Emit(MakeRecord<int>(Get<int>(r) * 3, r.key));
+  }
+};
+
+JobGraph ChaosGraph() {
+  JobGraph g;
+  const auto src = g.AddVertex({.name = "Src", .parallelism = 1, .max_parallelism = 1});
+  const auto mid = g.AddVertex({.name = "Mid", .parallelism = 1, .min_parallelism = 1,
+                                .max_parallelism = 1});
+  const auto snk = g.AddVertex({.name = "Snk", .parallelism = 1, .max_parallelism = 1});
+  g.Connect(src, mid);
+  g.Connect(mid, snk);
+  return g;
+}
+
+TEST(ChaosSoak, FaultsAndBurstsRecoverAcrossSeeds) {
+  const int rounds = SeedRounds();
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed = 1000 + 17 * static_cast<std::uint64_t>(round);
+    // Alternate the recovery policy so both rebuild paths soak.
+    const FailurePolicy policy = round % 2 == 0 ? FailurePolicy::kRestartTask
+                                                : FailurePolicy::kRestartEpoch;
+    SCOPED_TRACE(testing::Message() << "seed=" << seed << " policy="
+                                    << static_cast<int>(policy));
+
+    ChaosSinkState sink;
+    FaultInjector injector(seed);
+    injector.ThrowWithProbability("Mid", 0, 0.002);
+    injector.DelayDelivery("Snk", 0, FromMillis(5), /*batches=*/3);
+    // A finite wedge mid-run: the watchdog must quarantine the chain head
+    // while its SPSC producer sits parked on the full ring.
+    injector.Wedge("Mid", 0, /*from=*/FromMillis(150), /*duration=*/FromMillis(400));
+
+    LocalEngineOptions opts;
+    opts.shipping = ShippingStrategy::kInstantFlush;
+    opts.queue_capacity = 32;
+    opts.measurement_interval = FromMillis(25);
+    opts.adjustment_interval = FromMillis(100);
+    opts.fault_injector = &injector;
+    opts.recovery.policy = policy;
+    opts.recovery.max_restarts_per_task = 50;
+    opts.recovery.backoff_initial = FromMillis(2);
+    opts.recovery.backoff_max = FromMillis(20);
+    opts.overload.enabled = true;
+    opts.overload.wedge_deadline = FromMillis(120);
+
+    JobGraph g = ChaosGraph();
+    const LatencyConstraint constraint{
+        JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}}),
+        FromMillis(25), FromSeconds(10), "chaos"};
+    LocalEngine engine(std::move(g), opts);
+    engine.SetSource("Src", [](std::uint32_t) {
+      return std::make_unique<BurstingSource>(/*cycles=*/5, /*burst=*/400,
+                                              milliseconds(150));
+    });
+    engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<BusyUdf>(); });
+    engine.SetUdf("Snk",
+                  [&](std::uint32_t) { return std::make_unique<CountingSink>(&sink); });
+    engine.AddConstraint(constraint);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const EngineResult result = engine.Run(FromSeconds(120));
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // The run came back well before max_duration: no deadlock, the wedge
+    // was detected and isolated instead of waited out.
+    EXPECT_LT(elapsed_s, 90.0);
+
+    // Accounting envelope: every emitted record is delivered or shed, and
+    // delivered+shed can exceed emitted only by the salvage-replay bound.
+    EXPECT_LE(result.records_emitted,
+              result.records_delivered + result.records_shed);
+    EXPECT_LE(result.records_delivered + result.records_shed,
+              result.records_emitted + result.records_redelivered);
+
+    // Progress despite faults, bursts and the wedge.
+    EXPECT_GT(result.records_delivered, 0u);
+    {
+      MutexLock lock(sink.mutex);
+      EXPECT_EQ(sink.count, result.records_delivered);
+    }
+
+    // The wedge produced at least one quarantine, and every supervisor
+    // intervention carries its action tag.
+    EXPECT_GE(result.quarantines, 1u);
+    bool saw_quarantine = false;
+    for (const FailureEvent& ev : result.failures) {
+      saw_quarantine |= ev.action == FailureAction::kQuarantine;
+    }
+    EXPECT_TRUE(saw_quarantine);
+
+    // Shed bookkeeping is internally consistent for every seed.
+    std::uint64_t by_vertex = 0;
+    for (const auto& [vertex, n] : result.shed_by_vertex) by_vertex += n;
+    EXPECT_EQ(by_vertex, result.records_shed);
+    if (result.records_shed > 0) {
+      EXPECT_GE(result.shed_windows + result.quarantines, 1u);
+    }
+  }
+}
+
+TEST(ChaosSoak, SaturatedRunsShedAndStayExactAcrossRepeats) {
+  // The shed decision stream is a pure function of overload.shed_seed and
+  // the task's admission sequence while shedding is active (engine.cpp,
+  // RoutingCollector::Emit) -- wall clock only moves WHERE in the stream the
+  // controller engages, never WHAT the seeded RNG decides.  Run the same
+  // saturated configuration twice and assert the invariants that must hold
+  // on every repeat: the whole stream is admitted-or-shed with exact
+  // accounting, and a 2 ms bound against a ~300 us/record stage guarantees
+  // shedding engages well before the 3000-record stream ends.
+  const auto run = [] {
+    ChaosSinkState sink;
+    LocalEngineOptions opts;
+    opts.shipping = ShippingStrategy::kInstantFlush;
+    opts.queue_capacity = 16;
+    opts.measurement_interval = FromMillis(25);
+    opts.adjustment_interval = FromMillis(50);
+    opts.overload.enabled = true;
+    opts.overload.shed_step = 0.5;       // jump to ceiling in one round
+    opts.overload.max_shed_ratio = 0.5;  // then hold it flat
+    opts.overload.min_shed_ratio = 0.5;
+    opts.overload.wedge_deadline = FromSeconds(30);
+    JobGraph g = ChaosGraph();
+    const LatencyConstraint constraint{
+        JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}}),
+        FromMillis(2), FromSeconds(10), "det"};
+    LocalEngine engine(std::move(g), opts);
+    engine.SetSource("Src", [](std::uint32_t) {
+      return std::make_unique<BurstingSource>(/*cycles=*/1, /*burst=*/3000,
+                                              milliseconds(0));
+    });
+    engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<BusyUdf>(); });
+    engine.SetUdf("Snk",
+                  [&](std::uint32_t) { return std::make_unique<CountingSink>(&sink); });
+    engine.AddConstraint(constraint);
+    return engine.Run(FromSeconds(120));
+  };
+
+  const EngineResult a = run();
+  const EngineResult b = run();
+  EXPECT_EQ(a.records_emitted, 3000u);
+  EXPECT_EQ(b.records_emitted, 3000u);
+  EXPECT_GT(a.records_shed, 0u);
+  EXPECT_GT(b.records_shed, 0u);
+  EXPECT_EQ(a.records_emitted, a.records_delivered + a.records_shed);
+  EXPECT_EQ(b.records_emitted, b.records_delivered + b.records_shed);
+  EXPECT_EQ(a.records_redelivered, 0u);
+  EXPECT_EQ(b.records_redelivered, 0u);
+}
+
+}  // namespace
+}  // namespace esp::runtime

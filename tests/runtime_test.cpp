@@ -1476,5 +1476,234 @@ TEST(AllocCounting, EngineMarginalAllocsPerRecordNearZero) {
                             << " large-run allocs=" << large;
 }
 
+// ---------------------------------------------------------- overload guard
+
+// Full blast for `burst` records, then `tail` records paced at
+// `tail_interval`: saturates the job, then leaves the guard room to recover
+// while records still flow.
+class BurstThenTrickleSource final : public SourceFunction {
+ public:
+  BurstThenTrickleSource(int burst, int tail, milliseconds tail_interval)
+      : burst_(burst), tail_(tail), tail_interval_(tail_interval) {}
+
+  bool Produce(Collector& out) override {
+    if (next_ >= burst_ + tail_) return false;
+    out.Emit(MakeRecord<int>(next_, static_cast<std::uint64_t>(next_)));
+    if (next_ >= burst_) std::this_thread::sleep_for(tail_interval_);
+    ++next_;
+    return true;
+  }
+
+ private:
+  int burst_;
+  int tail_;
+  milliseconds tail_interval_;
+  int next_ = 0;
+};
+
+TEST(LocalEngineOverload, ShedsUnderSaturationAndRecoversWithExactAccounting) {
+  // Offered load is far over the Mid service rate while the burst lasts and
+  // the scaler has no headroom (nothing elastic): the guard must shed at
+  // source admission, account every dropped record, and disengage once the
+  // trickle tail lets the estimate re-enter the constraint.
+  SinkState state;
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.queue_capacity = 64;
+  opts.measurement_interval = FromMillis(50);
+  opts.adjustment_interval = FromMillis(100);
+  opts.overload.enabled = true;
+  opts.overload.wedge_deadline = FromSeconds(30);  // watchdog out of the way
+  JobGraph g = LinearGraph(1, 1);
+  const LatencyConstraint constraint{
+      JobSequence::FromEdgeChain(g, {JobEdgeId{0}, JobEdgeId{1}}), FromMillis(20),
+      FromSeconds(10), "lat"};
+  LocalEngine engine(std::move(g), opts);
+  engine.SetSource("Src", [](std::uint32_t) {
+    return std::make_unique<BurstThenTrickleSource>(2000, 200, milliseconds(10));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) {
+    return std::make_unique<ScaleUdf>(3, milliseconds(1));
+  });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  engine.AddConstraint(constraint);
+  const EngineResult result = engine.Run(FromSeconds(60));
+
+  // Shedding engaged and was accounted exactly: every emitted record was
+  // delivered or shed, nothing twice (no failures -> no redelivery slack).
+  EXPECT_GT(result.records_shed, 0u);
+  EXPECT_GE(result.shed_windows, 1u);
+  EXPECT_EQ(result.records_redelivered, 0u);
+  EXPECT_EQ(result.records_emitted,
+            result.records_delivered + result.records_shed);
+  {
+    MutexLock lock(state.mutex);
+    EXPECT_EQ(state.values.size(), result.records_delivered);
+  }
+  std::uint64_t by_vertex = 0;
+  for (const auto& [vertex, n] : result.shed_by_vertex) by_vertex += n;
+  EXPECT_EQ(by_vertex, result.records_shed);
+  EXPECT_EQ(result.shed_by_vertex.count("Src"), 1u);  // admission shedding
+
+  // The ladder transitions are pinned as events: shedding engaged
+  // (kShedEnter) and later disengaged (kShedExit), with the enter marked
+  // recovered once the exit happened.
+  bool entered = false;
+  bool exited = false;
+  for (const FailureEvent& ev : result.failures) {
+    if (ev.action == FailureAction::kShedEnter) entered = true;
+    if (ev.action == FailureAction::kShedExit) {
+      exited = true;
+      EXPECT_TRUE(ev.recovered);
+    }
+  }
+  EXPECT_TRUE(entered);
+  EXPECT_TRUE(exited) << "shedding never disengaged during the trickle tail";
+}
+
+TEST(LocalEngineOverload, WatchdogQuarantinesWedgedChainHeadAllPolicies) {
+  // The wedge x SPSC regression: Src feeds the fused Mid+Snk chain head over
+  // a small ring; Mid wedges at t=0, the ring fills, and the source parks on
+  // the full ring.  Under every recovery policy the watchdog must detect the
+  // wedge within the deadline and wake the parked producer -- no deadlock,
+  // bounded wall clock, the run never idles out its full max_duration.
+  for (const FailurePolicy policy :
+       {FailurePolicy::kFailFast, FailurePolicy::kRestartTask,
+        FailurePolicy::kRestartEpoch}) {
+    SCOPED_TRACE(static_cast<int>(policy));
+    SinkState state;
+    FaultInjector injector(7);
+    injector.Wedge("Mid", 0, /*from=*/0, /*duration=*/0);  // until shutdown
+    LocalEngineOptions opts;
+    opts.shipping = ShippingStrategy::kInstantFlush;
+    opts.queue_capacity = 16;
+    opts.fault_injector = &injector;
+    opts.recovery.policy = policy;
+    opts.recovery.max_restarts_per_task = 2;
+    opts.recovery.backoff_initial = FromMillis(5);
+    opts.recovery.backoff_max = FromMillis(20);
+    opts.overload.enabled = true;
+    opts.overload.wedge_deadline = FromMillis(150);
+    LocalEngine engine(LinearGraph(1, 1), opts);
+    engine.SetSource("Src", [](std::uint32_t) {
+      return std::make_unique<CountingSource>(100000, milliseconds(0));
+    });
+    engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(3); });
+    engine.SetUdf("Snk",
+                  [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+    const auto t0 = std::chrono::steady_clock::now();
+    const EngineResult result = engine.Run(FromSeconds(30));
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    EXPECT_LT(elapsed_s, 20.0);
+    ASSERT_FALSE(result.failures.empty());
+    const FailureEvent& first = result.failures.front();
+    EXPECT_EQ(first.vertex, "Mid");
+    EXPECT_EQ(first.action, FailureAction::kQuarantine);
+    // Bounded detection: the event is stamped within deadline + slack, far
+    // inside the 30 s max_duration.
+    EXPECT_LE(first.time, FromSeconds(10));
+    if (policy == FailurePolicy::kFailFast) {
+      EXPECT_EQ(result.quarantines, 0u);
+      EXPECT_EQ(result.restarts, 0u);
+      EXPECT_FALSE(first.recovered);
+    } else {
+      // Replacements re-resolve the wedge binding and wedge again, so the
+      // budget (2) bounds the cycle: two isolations (each rebuilt, hence
+      // recovered) plus the final budget-exhausted report.
+      EXPECT_EQ(result.quarantines, 2u);
+      EXPECT_TRUE(first.recovered) << first.Format();
+      EXPECT_FALSE(result.failures.back().recovered);
+      std::uint32_t quarantine_events = 0;
+      for (const FailureEvent& ev : result.failures) {
+        if (ev.action == FailureAction::kQuarantine) ++quarantine_events;
+      }
+      EXPECT_EQ(quarantine_events, 3u);
+    }
+  }
+}
+
+TEST(LocalEngineOverload, QuarantineAccountsStrandedRecordsExactly) {
+  // A finite wedge window [0, 600 ms): the watchdog isolates the wedged
+  // chain head (possibly several times -- replacements re-wedge while the
+  // window is open), the stranded backlog is counted as shed against the
+  // wedged vertex, and once the window closes the job drains.  No salvage is
+  // taken from a quarantined task, so the accounting is exact:
+  // emitted == delivered + shed with zero redelivery.
+  constexpr int kTotal = 3000;
+  SinkState state;
+  FaultInjector injector(7);
+  injector.Wedge("Mid", 0, /*from=*/0, /*duration=*/FromMillis(600));
+  LocalEngineOptions opts;
+  opts.shipping = ShippingStrategy::kInstantFlush;
+  opts.queue_capacity = 16;
+  opts.fault_injector = &injector;
+  opts.recovery.policy = FailurePolicy::kRestartTask;
+  opts.recovery.max_restarts_per_task = 20;
+  opts.recovery.backoff_initial = FromMillis(5);
+  opts.recovery.backoff_max = FromMillis(20);
+  opts.overload.enabled = true;
+  opts.overload.wedge_deadline = FromMillis(100);
+  LocalEngine engine(LinearGraph(1, 1), opts);
+  engine.SetSource("Src", [total = kTotal](std::uint32_t) {
+    return std::make_unique<CountingSource>(total, milliseconds(0));
+  });
+  engine.SetUdf("Mid", [](std::uint32_t) { return std::make_unique<ScaleUdf>(3); });
+  engine.SetUdf("Snk",
+                [&](std::uint32_t s) { return std::make_unique<CollectSink>(&state, s); });
+  const EngineResult result = engine.Run(FromSeconds(60));
+
+  EXPECT_GE(result.quarantines, 1u);
+  EXPECT_EQ(result.records_redelivered, 0u);
+  EXPECT_GT(result.records_shed, 0u);
+  EXPECT_EQ(result.records_emitted, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(result.records_emitted,
+            result.records_delivered + result.records_shed);
+  // The drops are attributed to the wedged vertex (no admission shedding
+  // here: the job has no constraint, only the watchdog is active).
+  EXPECT_GT(result.shed_by_vertex.at("Mid"), 0u);
+  {
+    MutexLock lock(state.mutex);
+    EXPECT_EQ(state.values.size(), result.records_delivered);
+  }
+  for (const FailureEvent& ev : result.failures) {
+    EXPECT_EQ(ev.action, FailureAction::kQuarantine);
+    EXPECT_TRUE(ev.recovered) << ev.Format();
+  }
+}
+
+TEST(LocalEngineFaults, FailureEventActionPinsSupervisorSemantics) {
+  // Both restart paths (in-place task restart and epoch rebuild) stamp
+  // kRestart + recovered on the event they resolve; a fail-fast report
+  // carries no action and stays unrecovered.
+  for (const FailurePolicy policy :
+       {FailurePolicy::kRestartTask, FailurePolicy::kRestartEpoch}) {
+    SCOPED_TRACE(static_cast<int>(policy));
+    SinkState state;
+    FaultInjector injector(7);
+    injector.ThrowAtRecord("Mid", 0, /*nth=*/200);
+    const EngineResult result = RunFaultJob(800, policy, &injector, &state);
+    ASSERT_FALSE(result.failures.empty());
+    EXPECT_EQ(result.failures.front().action, FailureAction::kRestart);
+    EXPECT_TRUE(result.failures.front().recovered) << result.first_failure();
+  }
+  {
+    SinkState state;
+    FaultInjector injector(7);
+    injector.ThrowAtRecord("Mid", 0, /*nth=*/200);
+    const EngineResult result =
+        RunFaultJob(800, FailurePolicy::kFailFast, &injector, &state);
+    ASSERT_FALSE(result.failures.empty());
+    EXPECT_EQ(result.failures.front().action, FailureAction::kNone);
+    EXPECT_FALSE(result.failures.front().recovered);
+  }
+  EXPECT_STREQ(ToString(FailureAction::kRestart), "restart");
+  EXPECT_STREQ(ToString(FailureAction::kQuarantine), "quarantine");
+  EXPECT_STREQ(ToString(FailureAction::kShedEnter), "shed-enter");
+  EXPECT_STREQ(ToString(FailureAction::kShedExit), "shed-exit");
+}
+
 }  // namespace
 }  // namespace esp::runtime
