@@ -9,6 +9,7 @@
 // constraint-fulfilment fraction, task-hours and the number of adjustment
 // intervals in which parallelism changed (scaling churn).
 #include <cstdio>
+#include <exception>
 
 #include "bench_util.h"
 #include "common/logging.h"
@@ -47,7 +48,7 @@ struct Variant {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int Run(int argc, char** argv) {
   SetLogLevel(LogLevel::kError);
   std::printf("ABLATION: scaler design choices on the elastic PrimeTester job\n");
   const std::uint64_t seed = bench::ArgSeed(argc, argv, 17);
@@ -112,4 +113,18 @@ int main(int argc, char** argv) {
       "few percent of task-hours; compact placement releases ~20%% of node-hours\n"
       "at unchanged fulfilment (the resource manager can only return EMPTY nodes)\n");
   return 0;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

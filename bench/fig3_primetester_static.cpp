@@ -14,6 +14,7 @@
 // Default is a 1/5-scale cluster (10/40/10 tasks, rates / 5, 12 s steps);
 // --full runs the paper's 50/200/50 tasks, 60 s steps.
 #include <algorithm>
+#include <exception>
 #include <cstdio>
 #include <vector>
 
@@ -50,7 +51,7 @@ PrimeTesterParams Params(bool full) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int Run(int argc, char** argv) {
   const bool full = bench::HasFlag(argc, argv, "--full");
   SetLogLevel(LogLevel::kError);
   std::printf("FIG3: PrimeTester, static provisioning, 4 shipping configs%s\n",
@@ -113,4 +114,18 @@ int main(int argc, char** argv) {
       "             16KiB warm-up latency ~seconds vs ~1-2 ms (instant) / <=20 ms "
       "(adaptive)\n");
   return 0;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

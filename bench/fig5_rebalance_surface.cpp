@@ -10,6 +10,7 @@
 // Output: the surface as (p1, p2) -> p3 rows with F, the exhaustive
 // optimum, and Rebalance's pick.
 #include <cmath>
+#include <exception>
 #include <cstdio>
 #include <limits>
 #include <vector>
@@ -65,7 +66,7 @@ struct Setup {
 
 }  // namespace
 
-int main(int, char**) {
+static int Run() {
   std::printf("FIG5: Rebalance solution-candidate surface, 3 job vertices\n");
   const Setup setup;
   const LatencyModel model =
@@ -109,4 +110,18 @@ int main(int, char**) {
   std::printf("\npaper shape: multiple optima exist on the surface; the gradient\n"
               "descent with variable step size finds a minimum-F candidate\n");
   return 0;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main() {
+  try {
+    return Run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

@@ -16,6 +16,7 @@
 // Default is 1/4 scale (8 sources, p in [1, 130], rates / 4, 15 s steps);
 // --full is paper scale.
 #include <algorithm>
+#include <exception>
 #include <cmath>
 #include <cstdio>
 
@@ -53,7 +54,7 @@ PrimeTesterParams ElasticParams(bool full) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int Run(int argc, char** argv) {
   const bool full = bench::HasFlag(argc, argv, "--full");
   SetLogLevel(LogLevel::kError);
   std::printf("FIG6: PrimeTester with reactive scaling vs unelastic baseline%s\n",
@@ -151,4 +152,18 @@ int main(int argc, char** argv) {
       "\npaper shape: ~91%% fulfilment; elastic task-hours ~= hand-tuned unelastic;\n"
       "             unelastic latency floor is orders of magnitude above 20 ms\n");
   return 0;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

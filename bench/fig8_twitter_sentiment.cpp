@@ -15,6 +15,7 @@
 // Default is 1/4 scale and a 1500 s replay; --full is the paper's 6000 s
 // (100 min) replay at full rates.
 #include <algorithm>
+#include <exception>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -45,7 +46,7 @@ TwitterParams Params(bool full) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int Run(int argc, char** argv) {
   const bool full = bench::HasFlag(argc, argv, "--full");
   SetLogLevel(LogLevel::kError);
   std::printf("FIG8: TwitterSentiment with reactive scaling%s\n",
@@ -120,4 +121,18 @@ int main(int argc, char** argv) {
               "paper: ~+28 at full scale)\n",
               s_before, s_peak, static_cast<int>(s_peak) - static_cast<int>(s_before));
   return 0;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

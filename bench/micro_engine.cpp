@@ -39,6 +39,7 @@
 //                     [--spsc on|off] [--fail-at N] [--policy P]
 //                     [--overload-burst] [--tsv] [--json]
 #include <chrono>
+#include <exception>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -367,7 +368,7 @@ std::vector<Row> RunAll(int records, int queue, int batch, const FaultConfig& fc
 }  // namespace
 }  // namespace esp::bench
 
-int main(int argc, char** argv) {
+static int Run(int argc, char** argv) {
   using namespace esp::bench;
 
   // The overload scenario runs against a ~200 us/record map, so its default
@@ -480,4 +481,18 @@ int main(int argc, char** argv) {
   bool all_exact = true;
   for (const Row& r : rows) all_exact = all_exact && r.exact;
   return all_exact ? 0 : 1;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

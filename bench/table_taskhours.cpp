@@ -9,6 +9,7 @@
 //
 // Default is 1/4 scale with 15 s steps; --full is paper scale.
 #include <cmath>
+#include <exception>
 #include <cstdio>
 #include <vector>
 
@@ -43,7 +44,7 @@ PrimeTesterParams BaseParams(bool full) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int Run(int argc, char** argv) {
   const bool full = bench::HasFlag(argc, argv, "--full");
   SetLogLevel(LogLevel::kError);
   std::printf("TABLE: task-hours vs latency constraint, elastic PrimeTester%s\n",
@@ -94,4 +95,18 @@ int main(int argc, char** argv) {
       "\npaper shape: task-hours fall monotonically as the bound loosens\n"
       "             (paper: 46.4 / 44.3 / 41.8 / 37.6 for 30/40/50/100 ms)\n");
   return 0;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

@@ -1,0 +1,61 @@
+# Reusable configure-time negative-compile probe (generalised from the PR 3
+# thread-safety probe).  A compiler-enforced contract is only as good as its
+# teeth: for every gate we ship (thread-safety, function effects) the probe
+# proves BOTH directions at configure time --
+#   1. the clean variant of the probe source compiles under the gate flags
+#      (the annotations themselves are well-formed), and
+#   2. each VIOLATIONS macro, which switches the source to a deliberately
+#      contract-breaking variant, makes the compile FAIL (the gate still
+#      rejects what it exists to reject).
+# Configuration aborts with FATAL_ERROR when either direction is wrong, so a
+# silently toothless gate can never reach CI green.
+#
+#   esp_add_negative_compile_test(
+#     NAME <probe-name>                 # unique; names the try_compile dirs
+#     SOURCE <absolute path to .cpp>    # one TU with #ifdef'd violation arms
+#     FLAGS <flag;list>                 # gate flags, e.g. -Werror=thread-safety
+#     VIOLATIONS <MACRO...>             # each -D<MACRO> arm must NOT compile
+#     [DEFINES <MACRO...>]              # extra -D's applied to every variant
+#   )
+function(esp_add_negative_compile_test)
+  cmake_parse_arguments(ARG "" "NAME;SOURCE" "FLAGS;VIOLATIONS;DEFINES" ${ARGN})
+  if(NOT ARG_NAME OR NOT ARG_SOURCE)
+    message(FATAL_ERROR "esp_add_negative_compile_test: NAME and SOURCE are required")
+  endif()
+
+  string(JOIN " " _flags ${ARG_FLAGS})
+  set(_cmake_flags
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}"
+      "-DCMAKE_CXX_FLAGS=${_flags}")
+  set(_defines "")
+  foreach(_d ${ARG_DEFINES})
+    list(APPEND _defines "-D${_d}")
+  endforeach()
+
+  try_compile(${ARG_NAME}_CLEAN_COMPILES
+              "${CMAKE_BINARY_DIR}/${ARG_NAME}_probe_clean"
+              SOURCES "${ARG_SOURCE}" CMAKE_FLAGS ${_cmake_flags}
+              COMPILE_DEFINITIONS "${_defines}")
+  if(NOT ${ARG_NAME}_CLEAN_COMPILES)
+    message(FATAL_ERROR "${ARG_NAME} probe: the clean variant of ${ARG_SOURCE} "
+                        "failed to compile under '${_flags}'; the annotations "
+                        "or gate flags are broken")
+  endif()
+
+  foreach(_violation ${ARG_VIOLATIONS})
+    try_compile(${ARG_NAME}_${_violation}_COMPILES
+                "${CMAKE_BINARY_DIR}/${ARG_NAME}_probe_${_violation}"
+                SOURCES "${ARG_SOURCE}" CMAKE_FLAGS ${_cmake_flags}
+                COMPILE_DEFINITIONS "${_defines};-D${_violation}")
+    if(${ARG_NAME}_${_violation}_COMPILES)
+      message(FATAL_ERROR "${ARG_NAME} probe: the -D${_violation} variant of "
+                          "${ARG_SOURCE} compiled cleanly under '${_flags}'; "
+                          "the gate has no teeth")
+    endif()
+  endforeach()
+
+  list(LENGTH ARG_VIOLATIONS _n)
+  message(STATUS "${ARG_NAME} negative-compile probe: gate verified "
+                 "(clean compiles, ${_n} violation(s) rejected)")
+endfunction()

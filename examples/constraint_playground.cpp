@@ -5,6 +5,7 @@
 //
 // Run:  ./build/examples/constraint_playground
 #include <cstdio>
+#include <exception>
 
 #include "core/scale_reactively.h"
 #include "model/latency_model.h"
@@ -72,7 +73,7 @@ GlobalSummary SummaryAt(const Scenario& s, double total_rate) {
 
 }  // namespace
 
-int main() {
+static int Run() {
   Scenario scenario;
   std::printf("job: %s, constraint 30 ms\n\n",
               scenario.sequence.ToString(scenario.graph).c_str());
@@ -110,4 +111,18 @@ int main() {
       "\nreading: parallelism tracks the offered load in both directions while the\n"
       "predicted queue wait stays within the 30 ms constraint's 20%% wait budget\n");
   return 0;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main() {
+  try {
+    return Run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

@@ -13,6 +13,7 @@
 //
 //   ./build/examples/primetester_local
 #include <atomic>
+#include <exception>
 #include <chrono>
 #include <cstdio>
 
@@ -92,7 +93,7 @@ class CountSink final : public Udf {
 
 }  // namespace
 
-int main() {
+static int Run() {
   JobGraph graph;
   const auto src = graph.AddVertex({.name = "RandomNumbers", .parallelism = 1,
                                     .max_parallelism = 1});
@@ -138,4 +139,18 @@ int main() {
   std::printf("end-to-end latency: %s (seconds)\n", result.latency.Summary().c_str());
   if (!result.clean()) std::printf("FAILURE: %s\n", result.first_failure().c_str());
   return result.clean() ? 0 : 1;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main() {
+  try {
+    return Run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

@@ -10,6 +10,7 @@
 // latency histogram sits comfortably under the constraint because the
 // engine picks flush deadlines from the constraint budget.
 #include <cstdio>
+#include <exception>
 
 #include "runtime/engine.h"
 
@@ -55,7 +56,7 @@ class SumSink final : public Udf {
 
 }  // namespace
 
-int main() {
+static int Run() {
   // 1. Describe the job graph: name, parallelism, wiring.
   JobGraph graph;
   const auto src = graph.AddVertex({.name = "Numbers", .parallelism = 1,
@@ -89,4 +90,18 @@ int main() {
   std::printf("end-to-end latency: %s (seconds)\n", result.latency.Summary().c_str());
   if (!result.clean()) std::printf("FAILURE: %s\n", result.first_failure().c_str());
   return result.clean() ? 0 : 1;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main() {
+  try {
+    return Run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

@@ -7,6 +7,7 @@
 //
 // Run:  ./build/examples/twitter_sentiment_local
 #include <algorithm>
+#include <exception>
 #include <cstdio>
 #include <map>
 #include <unordered_set>
@@ -168,7 +169,7 @@ class SentimentSink final : public Udf {
 
 }  // namespace
 
-int main() {
+static int Run() {
   JobGraph graph;
   const auto ts = graph.AddVertex({.name = "TweetSource", .parallelism = 1,
                                    .max_parallelism = 1});
@@ -235,4 +236,18 @@ int main() {
   std::printf("end-to-end latency: %s (seconds)\n", result.latency.Summary().c_str());
   if (!result.clean()) std::printf("FAILURE: %s\n", result.first_failure().c_str());
   return result.clean() ? 0 : 1;
+}
+
+// A throw escaping main is std::terminate with no diagnostic; surface the
+// error instead (bugprone-exception-escape).
+int main() {
+  try {
+    return Run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }

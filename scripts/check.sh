@@ -17,8 +17,22 @@ if command -v clang++ >/dev/null 2>&1; then
   echo "== Thread-safety build (clang++, -Werror=thread-safety) =="
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ -DESP_THREAD_SAFETY=ON >/dev/null
   cmake --build build-tsa -j "$JOBS"
+
+  # Function-effect contracts need Clang 19+; probe the attribute before
+  # spending a configure on it (the CMake option FATAL_ERRORs when forced on
+  # an unsupporting compiler).
+  if echo 'void f() [[clang::nonblocking]];' \
+      | clang++ -x c++ -std=c++17 -fsyntax-only -Werror=unknown-attributes \
+                -Werror=ignored-attributes - >/dev/null 2>&1; then
+    echo "== Function-effects build (clang++, -Werror=function-effects) =="
+    cmake -B build-effects -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DESP_FUNCTION_EFFECTS=ON >/dev/null
+    cmake --build build-effects -j "$JOBS"
+  else
+    echo "== clang++ lacks function-effect analysis (needs Clang 19+); skipping that leg =="
+  fi
 else
-  echo "== clang++ not found; skipping the thread-safety leg (CI runs it) =="
+  echo "== clang++ not found; skipping the thread-safety and function-effects legs (CI runs them) =="
 fi
 
 echo "== Release build + full test suite =="

@@ -10,7 +10,10 @@
 #      over src/ tests/ bench/ examples/ — warnings are errors.
 #   2. esp_lint.py — project invariants clang-tidy cannot express (raw
 #      std::mutex outside the wrapper header, detached threads, unseeded
-#      bench RNGs, unbounded queues in runtime code, bare NOLINTs).
+#      bench RNGs, unbounded queues in runtime code, bare NOLINTs, effect
+#      contracts, lock-order cycles, throw-in-noexcept, mutex-adjacent
+#      unguarded fields), AST backend when libclang is available.
+#   3. The analyzer's own self-test over tests/lint_test fixtures.
 #
 # clang-tidy is skipped (with a notice) when not installed, so the script
 # stays runnable in minimal containers; CI installs it and gets the full gate.
@@ -36,7 +39,10 @@ if [[ -n "${TIDY_BIN}" ]]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 
-  mapfile -t SOURCES < <(git ls-files 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+  # tests/lint_test/fixtures contains violations ON PURPOSE (the analyzer's
+  # self-test corpus); keep it out of the tidy pass.
+  mapfile -t SOURCES < <(git ls-files 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp' \
+                         ':!tests/lint_test/*')
   echo "== clang-tidy (${TIDY_BIN}) over ${#SOURCES[@]} translation units"
   if ! "${TIDY_BIN}" -p "${BUILD_DIR}" --quiet "${SOURCES[@]}"; then
     echo "clang-tidy: FAILED"
@@ -49,12 +55,27 @@ else
 fi
 
 # ------------------------------------------------------------ project linter
-echo "== esp_lint.py"
-if ! python3 scripts/esp_lint.py; then
+# --mode auto upgrades to the libclang AST backend when the python clang
+# bindings are importable AND the tidy configure above produced a
+# compile_commands.json; otherwise it runs the structural backend.
+echo "== esp_lint.py (auto backend)"
+if ! python3 scripts/esp_lint.py --mode auto --build-dir "${BUILD_DIR}"; then
   echo "esp_lint: FAILED"
   FAILED=1
 else
   echo "esp_lint: clean"
 fi
+
+# Self-test: every rule must fire on the fixture corpus and honour
+# suppressions (exit 77 = AST backend unavailable, not a failure).
+echo "== esp_lint self-test"
+for mode in regex ast; do
+  rc=0
+  python3 tests/lint_test/run_lint_test.py --mode "${mode}" || rc=$?
+  if [[ "${rc}" -ne 0 && "${rc}" -ne 77 ]]; then
+    echo "esp_lint self-test (${mode}): FAILED"
+    FAILED=1
+  fi
+done
 
 exit "${FAILED}"

@@ -1,0 +1,81 @@
+// Compile-time function-effect contracts for the record hot path.
+//
+// The paper's latency guarantees assume the per-record data path never
+// silently blocks or allocates: PR 4 (zero-allocation records) and PR 5
+// (lock-free SPSC channels) bought those properties at runtime, and the
+// AllocCounting tests measure them -- but nothing PROVED them, so any edit
+// could regress them undetected until a bench run.  This header closes that
+// gap with Clang's function-effect analysis (-Wfunction-effects, Clang 19+):
+//
+//   ESP_NONBLOCKING      [[clang::nonblocking]]   -- the function (and, with
+//                        the gate below, everything it calls) may not acquire
+//                        a lock, wait on a condition variable, sleep, throw,
+//                        or allocate.  `nonblocking` subsumes `nonallocating`:
+//                        allocation can take the allocator's lock.
+//   ESP_NONALLOCATING    [[clang::nonallocating]] -- may not allocate,
+//                        deallocate or throw; taking a lock is permitted
+//                        (the lock-striped engine paths hold per-channel /
+//                        per-task mutexes by design -- see DESIGN.md §13).
+//   ESP_NONBLOCKING_IF(c)  conditional form for templates whose effect
+//                        depends on the instantiation (e.g. MakeRecord<T> is
+//                        nonblocking exactly when the payload stores inline).
+//   ESP_BLOCKING         [[clang::blocking]]      -- explicitly documents a
+//                        sanctioned blocking edge (queue park/wake, recovery
+//                        surfaces) so it can never be inferred otherwise.
+//
+// The attributes are active only under the ESP_FUNCTION_EFFECTS CMake option
+// (Clang 19+; a configure-time probe rejects the option on compilers without
+// the analysis) and expand to nothing elsewhere, so GCC and older Clang
+// builds are byte-for-byte unaffected.  Under the option the build adds
+// -Werror=function-effects, making every violation a compile error -- the
+// same contract-as-compiler-gate pattern as ESP_THREAD_SAFETY (PR 3).
+//
+// Escape-hatch idiom (DESIGN.md §13): an annotated function that must
+// perform a formally-effectful operation on a cold or sanctioned edge wraps
+// EXACTLY that region:
+//
+//   ESP_EFFECTS_ESCAPE_BEGIN  // <why this effect is sanctioned here>
+//   ParkProducer();           // full ring IS the backpressure contract
+//   ESP_EFFECTS_ESCAPE_END
+//
+// The trailing comment is mandatory: scripts/esp_lint.py's
+// `bare-effect-escape` rule rejects an ESP_EFFECTS_ESCAPE_BEGIN without one,
+// and its `blocking-in-nonblocking` rule re-checks the un-escaped body text
+// on every toolchain, including the ones where the attributes are no-ops.
+#pragma once
+
+#if defined(ESP_FUNCTION_EFFECTS_ENABLED) && defined(__clang__) && \
+    defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::nonblocking) && \
+    __has_cpp_attribute(clang::nonallocating)
+#define ESP_FUNCTION_EFFECTS_ACTIVE 1
+#endif
+#endif
+
+#if defined(ESP_FUNCTION_EFFECTS_ACTIVE)
+
+#define ESP_NONBLOCKING [[clang::nonblocking]]
+#define ESP_NONALLOCATING [[clang::nonallocating]]
+#define ESP_NONBLOCKING_IF(cond) [[clang::nonblocking(cond)]]
+#define ESP_NONALLOCATING_IF(cond) [[clang::nonallocating(cond)]]
+#define ESP_BLOCKING [[clang::blocking]]
+#define ESP_ALLOCATING [[clang::allocating]]
+
+#define ESP_EFFECTS_ESCAPE_BEGIN                    \
+  _Pragma("clang diagnostic push")                  \
+  _Pragma("clang diagnostic ignored \"-Wfunction-effects\"")
+#define ESP_EFFECTS_ESCAPE_END _Pragma("clang diagnostic pop")
+
+#else  // attributes unavailable or the gate is off: everything is a no-op
+
+#define ESP_NONBLOCKING
+#define ESP_NONALLOCATING
+#define ESP_NONBLOCKING_IF(cond)
+#define ESP_NONALLOCATING_IF(cond)
+#define ESP_BLOCKING
+#define ESP_ALLOCATING
+
+#define ESP_EFFECTS_ESCAPE_BEGIN
+#define ESP_EFFECTS_ESCAPE_END
+
+#endif  // ESP_FUNCTION_EFFECTS_ACTIVE

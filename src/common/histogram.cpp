@@ -1,5 +1,7 @@
 #include "common/histogram.h"
 
+#include "common/function_effects.h"
+
 #include <algorithm>
 #include <cmath>
 #include <sstream>
@@ -30,7 +32,7 @@ double LogHistogram::BucketLowerEdge(std::size_t i) const {
   return min_value_ * std::exp(log_base_ * static_cast<double>(i - 1));
 }
 
-void LogHistogram::Add(double x) {
+void LogHistogram::Add(double x) ESP_NONALLOCATING {
   if (x < 0 || !std::isfinite(x)) return;  // ignore invalid observations
   std::size_t i;
   if (x >= memo_min_ && x <= memo_max_) {
@@ -47,7 +49,11 @@ void LogHistogram::Add(double x) {
       memo_min_ = memo_max_ = x;
     }
   }
-  if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+  if (i >= buckets_.size()) {
+    ESP_EFFECTS_ESCAPE_BEGIN  // on-demand bucket growth: happens O(log range) times per histogram lifetime, never in steady state
+    buckets_.resize(i + 1, 0);
+    ESP_EFFECTS_ESCAPE_END
+  }
   ++buckets_[i];
   ++count_;
   sum_ += x;

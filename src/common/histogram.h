@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/function_effects.h"
+
 namespace esp {
 
 /// Geometric-bucket histogram over positive values.
@@ -22,8 +24,10 @@ class LogHistogram {
   explicit LogHistogram(double min_value = 1.0, double base = 1.05,
                         std::size_t max_buckets = 4096);
 
-  /// Records one observation.
-  void Add(double x);
+  /// Records one observation.  ESP_NONALLOCATING: the steady state hits
+  /// existing buckets (plus the last-bucket memo); the on-demand bucket
+  /// growth is a cold escape.
+  void Add(double x) ESP_NONALLOCATING;
 
   /// Merges another histogram with identical parameters.
   void Merge(const LogHistogram& other);

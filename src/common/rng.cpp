@@ -25,7 +25,7 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = SplitMix64(s);
 }
 
-std::uint64_t Rng::Next() {
+std::uint64_t Rng::Next() noexcept ESP_NONBLOCKING {
   const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];
@@ -37,7 +37,7 @@ std::uint64_t Rng::Next() {
   return result;
 }
 
-double Rng::NextDouble() {
+double Rng::NextDouble() noexcept ESP_NONBLOCKING {
   // 53 top bits -> uniform double in [0, 1).
   return static_cast<double>(Next() >> 11) * 0x1.0p-53;
 }
@@ -104,7 +104,7 @@ double Rng::Gamma(double shape, double scale) {
   }
 }
 
-bool Rng::Bernoulli(double p) {
+bool Rng::Bernoulli(double p) noexcept ESP_NONBLOCKING {
   // Degenerate probabilities short-circuit without advancing the stream:
   // NextDouble() is in [0, 1), so the outcome is already determined, and the
   // hot samplers run with p = 1.0 by default (every draw would be a wasted

@@ -9,6 +9,8 @@
 #include <array>
 #include <cstdint>
 
+#include "common/function_effects.h"
+
 namespace esp {
 
 /// Deterministic random number generator (xoshiro256**) with convenience
@@ -21,15 +23,15 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
   /// Returns the next raw 64-bit value.
-  std::uint64_t Next();
+  std::uint64_t Next() noexcept ESP_NONBLOCKING;
 
   /// UniformRandomBitGenerator interface (usable with <random> adapters).
-  std::uint64_t operator()() { return Next(); }
+  std::uint64_t operator()() noexcept ESP_NONBLOCKING { return Next(); }
   static constexpr std::uint64_t min() { return 0; }
   static constexpr std::uint64_t max() { return ~0ULL; }
 
   /// Returns a double uniformly distributed in [0, 1).
-  double NextDouble();
+  double NextDouble() noexcept ESP_NONBLOCKING;
 
   /// Returns a double uniformly distributed in [lo, hi).
   double Uniform(double lo, double hi);
@@ -53,7 +55,7 @@ class Rng {
 
   /// Returns true with probability p.  Degenerate probabilities (p <= 0,
   /// p >= 1) are answered without consuming generator state.
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) noexcept ESP_NONBLOCKING;
 
   /// Zipf-distributed integer in [1, n] with exponent s > 1 (Devroye's
   /// rejection sampler; O(1) expected time).  For s <= 1 use ZipfSampler,

@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/function_effects.h"
+
 namespace esp {
 
 /// Online mean/variance accumulator (Welford).  All operations are O(1).
@@ -16,7 +18,7 @@ class RunningStats {
   /// Adds one observation.  Defined inline: this is the innermost call of
   /// every per-record metric path (millions of calls per second in the
   /// local runtime's samplers).
-  void Add(double x) {
+  void Add(double x) noexcept ESP_NONBLOCKING {
     if (count_ == 0) {
       min_ = max_ = x;
     } else {

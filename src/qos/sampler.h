@@ -7,6 +7,7 @@
 // measurement overhead, mirroring the paper's random-sampling approach.
 #pragma once
 
+#include "common/function_effects.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/time.h"
@@ -28,7 +29,7 @@ class TaskSampler {
 
   /// Records that the task consumed an item at time `t`; maintains the
   /// inter-arrival statistics A_v.
-  void RecordArrival(SimTime t) {
+  void RecordArrival(SimTime t) noexcept ESP_NONBLOCKING {
     if (last_arrival_ >= 0) {
       interarrival_.Add(ToSeconds(t - last_arrival_));
     }
@@ -38,11 +39,11 @@ class TaskSampler {
 
   /// Records how long the task was busy with one item (service time S_v),
   /// in seconds.
-  void RecordServiceTime(double seconds) { service_.Add(seconds); }
+  void RecordServiceTime(double seconds) noexcept ESP_NONBLOCKING { service_.Add(seconds); }
 
   /// Offers a task-latency observation (read-ready or read-write, chosen by
   /// the UDF); it is kept with the configured sampling probability.
-  void OfferTaskLatency(double seconds) {
+  void OfferTaskLatency(double seconds) noexcept ESP_NONBLOCKING {
     if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
       latency_.Add(seconds);
     }
@@ -73,25 +74,25 @@ class ChannelSampler {
                           std::uint64_t rng_seed = 1);
 
   /// Offers an emit-to-consume latency observation (l_e), in seconds.
-  void OfferChannelLatency(double seconds) {
+  void OfferChannelLatency(double seconds) noexcept ESP_NONBLOCKING {
     if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
       channel_latency_.Add(seconds);
     }
   }
 
   /// Offers an output-batch wait observation (obl_e), in seconds.
-  void OfferOutputBatchLatency(double seconds) {
+  void OfferOutputBatchLatency(double seconds) noexcept ESP_NONBLOCKING {
     if (sample_probability_ >= 1.0 || rng_.Bernoulli(sample_probability_)) {
       batch_latency_.Add(seconds);
     }
   }
 
   /// Counts one item shipped through the channel.
-  void CountItem() { ++items_; }
+  void CountItem() noexcept ESP_NONBLOCKING { ++items_; }
 
   /// Counts `n` items at once -- the chained-edge path attributes a whole
   /// fused batch arithmetically (no per-record sampler call).
-  void CountItems(std::uint64_t n) { items_ += n; }
+  void CountItems(std::uint64_t n) noexcept ESP_NONBLOCKING { items_ += n; }
 
   /// Returns the interval's aggregate measurement and resets interval state.
   ChannelMeasurement Harvest();

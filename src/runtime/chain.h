@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/function_effects.h"
+
 namespace esp::runtime {
 
 /// Sampled timing cadence for fused members.  A chained member charges its
@@ -50,11 +52,11 @@ struct ChainMetricStaging {
   std::vector<double> service;       ///< sampled segment service times (s)
   std::vector<double> sink_latency;  ///< sink members: end-to-end latencies (s)
 
-  bool empty() const { return arrivals == 0; }
+  bool empty() const noexcept ESP_NONBLOCKING { return arrivals == 0; }
 
   /// Clears one batch's staging; `count` survives (it paces the sampling
   /// cadence across batches, not within one).
-  void Flush() {
+  void Flush() noexcept ESP_NONBLOCKING {
     arrivals = 0;
     delivered = 0;
     service.clear();

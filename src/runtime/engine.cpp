@@ -133,7 +133,7 @@ struct LocalEngine::LocalTask {
   // post-batch metric pass and the timer path), so they share its guard.
   std::vector<std::int64_t> rw_pending ESP_GUARDED_BY(sampler_mutex);
   Rng rng ESP_GUARDED_BY(sampler_mutex){1};
-  std::int64_t next_timer_ns = 0;  // task-thread only
+  std::int64_t next_timer_ns = 0;  // esp-lint: allow(unguarded-mutex-field) -- task-thread only, never read cross-thread
 
   // Per-task metric shards, merged by HarvestTaskMetrics (control thread).
   // The counters are uncontended relaxed atomics (one writer, harvested via
@@ -177,8 +177,8 @@ struct LocalEngine::LocalTask {
   // thanks to the 1 ms pop timeout), read by the watchdog.  Non-empty queue
   // + stale heartbeat = wedged.
   std::atomic<std::int64_t> last_progress_ns{0};
-  // Degraded-mode metric thinning counter (touched under sampler_mutex).
-  std::uint64_t metric_seq = 0;
+  // Degraded-mode metric thinning counter.
+  std::uint64_t metric_seq ESP_GUARDED_BY(sampler_mutex) = 0;
   std::size_t last_failure_index = static_cast<std::size_t>(-1);  // failure_mutex_
   bool abandoned = false;  ///< reported stuck at teardown (control thread only)
   FaultBinding fault;
@@ -209,10 +209,15 @@ class LocalEngine::RoutingCollector final : public Collector {
   /// granularity of the batching deadlines and latency metrics it feeds.
   void SetNowHint(std::int64_t now_ns) { now_hint_ns_ = now_ns; }
 
-  void Emit(Record record, std::uint32_t output_index) override {
+  // ESP_NONALLOCATING, not nonblocking: routing legitimately takes the
+  // lock-striped channel mutex (and the fused path runs the downstream UDF
+  // inline); what the contract forbids is per-record heap traffic.
+  void Emit(Record record, std::uint32_t output_index) override ESP_NONALLOCATING {
     if (output_index >= task_->outputs.size()) {
+      ESP_EFFECTS_ESCAPE_BEGIN  // wiring-contract violation: throwing out of the hot path is the correct failure mode
       throw std::out_of_range("Collector::Emit: bad output index in '" +
                               task_->vertex_name + "'");
+      ESP_EFFECTS_ESCAPE_END
     }
     const std::int64_t now = now_hint_ns_ != 0 ? now_hint_ns_ : engine_->NowNs();
     if (record.source_emit_ns == 0) record.source_emit_ns = now;
@@ -241,6 +246,7 @@ class LocalEngine::RoutingCollector final : public Collector {
 
     auto& targets = task_->outputs[output_index];
     if (targets.empty()) return;  // transient during rescale
+    ESP_EFFECTS_ESCAPE_BEGIN  // channel append: lock-striped buffered handoff whose blocking backpressure edge (DeliverBatch) is the sanctioned slow path
     switch (task_->out_pattern[output_index]) {
       case WiringPattern::kBroadcast:
         for (Channel* ch : targets) {
@@ -256,6 +262,7 @@ class LocalEngine::RoutingCollector final : public Collector {
                         std::move(record), now);
         break;
     }
+    ESP_EFFECTS_ESCAPE_END
   }
 
   std::uint64_t TakeEmitted() {
@@ -288,6 +295,7 @@ LocalEngine::LocalEngine(JobGraph graph, LocalEngineOptions options)
   }
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape) thread::join can raise system_error; if collecting threads fails, terminating beats returning with live threads over freed state
 LocalEngine::~LocalEngine() {
   shutdown_.store(true);
   control_cv_.NotifyAll();
@@ -325,9 +333,11 @@ void LocalEngine::AddConstraint(const LatencyConstraint& constraint) {
   constraints_.push_back(constraint);
 }
 
-std::int64_t LocalEngine::NowNs() const {
+std::int64_t LocalEngine::NowNs() const noexcept ESP_NONBLOCKING {
+  ESP_EFFECTS_ESCAPE_BEGIN  // steady_clock::now is a VDSO clock read, not a blocking syscall
   return std::chrono::duration_cast<nanoseconds>(steady_clock::now() - epoch_zero_)
       .count();
+  ESP_EFFECTS_ESCAPE_END
 }
 
 SimDuration LocalEngine::FlushDeadlineForEdge(std::uint32_t edge) const {
@@ -736,26 +746,15 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
       }
     }
 
-    // Run the UDF over the batch.  Consecutive records share a timestamp
-    // boundary (record i's end is record i+1's start), halving clock reads.
-    // On a throw, bank metrics for the completed prefix [0, i) and leave
-    // the unprocessed remainder -- INCLUDING the record that failed -- in
-    // task->salvage for the supervisor to redeliver (at-least-once).
-    std::int64_t t_prev = NowNs();
+    // Run the UDF over the batch (RunUdfBatch -- the annotated inner batch
+    // step).  On a throw, bank metrics for the completed prefix [0,
+    // processed) and leave the unprocessed remainder -- INCLUDING the record
+    // that failed -- in task->salvage for the supervisor to redeliver
+    // (at-least-once).
     std::size_t processed = 0;
     try {
-      for (std::size_t i = 0; i < n; ++i) {
-        start_ns[i] = t_prev;
-        if (task->fault.has_record_faults()) {
-          task->fault.TickRecord(task->vertex_name, task->id.subtask);
-        }
-        collector.SetNowHint(t_prev);  // Emit reuses this read, skips its own
-        task->udf->OnRecord(batch[i].record, collector);
-        t_prev = NowNs();
-        end_ns[i] = t_prev;
-        emitted_any[i] = collector.TakeEmitted() > 0;
-        processed = i + 1;
-      }
+      RunUdfBatch(task, collector, batch, n, start_ns, end_ns, emitted_any,
+                  processed);
       collector.SetNowHint(0);  // timer/close emissions read a fresh clock
     } catch (...) {
       collector.SetNowHint(0);
@@ -790,6 +789,33 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
   if (!task->chain_members.empty()) FlushChainMetrics(task, NowNs());
 }
 
+void LocalEngine::RunUdfBatch(LocalTask* task, RoutingCollector& collector,
+                              std::vector<Envelope>& batch, std::size_t n,
+                              std::vector<std::int64_t>& start_ns,
+                              std::vector<std::int64_t>& end_ns,
+                              std::vector<bool>& emitted_any,
+                              std::size_t& processed) ESP_NONALLOCATING {
+  // Consecutive records share a timestamp boundary (record i's end is record
+  // i+1's start), halving clock reads.
+  std::int64_t t_prev = NowNs();
+  for (std::size_t i = 0; i < n; ++i) {
+    start_ns[i] = t_prev;
+    if (task->fault.has_record_faults()) {
+      ESP_EFFECTS_ESCAPE_BEGIN  // fault injection: test-only path, off by a null check in production
+      task->fault.TickRecord(task->vertex_name, task->id.subtask);
+      ESP_EFFECTS_ESCAPE_END
+    }
+    collector.SetNowHint(t_prev);  // Emit reuses this read, skips its own
+    ESP_EFFECTS_ESCAPE_BEGIN  // the UDF body's effects are the UDF author's contract, not the engine's
+    task->udf->OnRecord(batch[i].record, collector);
+    ESP_EFFECTS_ESCAPE_END
+    t_prev = NowNs();
+    end_ns[i] = t_prev;
+    emitted_any[i] = collector.TakeEmitted() > 0;
+    processed = i + 1;
+  }
+}
+
 // Runs one record through a fused member's UDF on the chain head's thread.
 // The steady-state path adds ZERO clock reads: the head's now-hint is reused
 // for batching deadlines and sink latency, and service time is only measured
@@ -797,24 +823,32 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
 // staged lock-free in the member's ChainMetricStaging; FlushChainMetrics
 // publishes it once per head batch.
 void LocalEngine::ChainInvoke(LocalTask* member, Record record,
-                              std::int64_t now_hint_ns) {
+                              std::int64_t now_hint_ns) ESP_NONALLOCATING {
   ChainMetricStaging& stage = member->chain_stage;
   ++stage.count;
   ++stage.arrivals;
   RoutingCollector& out = *member->chain_collector;
   try {
     if (member->fault.has_record_faults()) {
+      ESP_EFFECTS_ESCAPE_BEGIN  // fault injection: test-only path, off by a null check in production
       member->fault.TickRecord(member->vertex_name, member->id.subtask);
+      ESP_EFFECTS_ESCAPE_END
     }
     if (stage.count % kChainTimingInterval == 0) {
       // Sampled segment timing: two clock reads amortized over the interval.
       const std::int64_t t0 = NowNs();
       out.SetNowHint(t0);
+      ESP_EFFECTS_ESCAPE_BEGIN  // the fused UDF body's effects are the UDF author's contract, not the engine's
       member->udf->OnRecord(record, out);
+      ESP_EFFECTS_ESCAPE_END
+      ESP_EFFECTS_ESCAPE_BEGIN  // staging vectors reach steady capacity after warm-up; growth is a cold edge
       stage.service.push_back(static_cast<double>(NowNs() - t0) * 1e-9);
+      ESP_EFFECTS_ESCAPE_END
     } else {
       out.SetNowHint(now_hint_ns);
+      ESP_EFFECTS_ESCAPE_BEGIN  // the fused UDF body's effects are the UDF author's contract, not the engine's
       member->udf->OnRecord(record, out);
+      ESP_EFFECTS_ESCAPE_END
     }
     (void)out.TakeEmitted();
   } catch (...) {
@@ -823,15 +857,19 @@ void LocalEngine::ChainInvoke(LocalTask* member, Record record,
     if (member->chain_head->chain_origin_task == nullptr) {
       member->chain_head->chain_origin_task = member;
     }
+    ESP_EFFECTS_ESCAPE_BEGIN  // rethrow to the chain head's supervisor: fused-member failure is the sanctioned slow path
     throw;
+    ESP_EFFECTS_ESCAPE_END
   }
   // Delivery is staged only AFTER the member's UDF succeeded: a fused sink
   // that throws salvages the record for replay, and counting it here too
   // would double-count on the second (successful) pass.
   if (member->is_sink && record.source_emit_ns != 0) {
     ++stage.delivered;
+    ESP_EFFECTS_ESCAPE_BEGIN  // staging vectors reach steady capacity after warm-up; growth is a cold edge
     stage.sink_latency.push_back(
         static_cast<double>(now_hint_ns - record.source_emit_ns) * 1e-9);
+    ESP_EFFECTS_ESCAPE_END
   }
 }
 

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/function_effects.h"
 #include "common/histogram.h"
 #include "common/thread_annotations.h"
 #include "core/batching.h"
@@ -226,7 +227,7 @@ class LocalEngine {
   struct LocalTask;   // task state + thread
   class RoutingCollector;
 
-  std::int64_t NowNs() const;
+  std::int64_t NowNs() const noexcept ESP_NONBLOCKING;
   void BuildEpoch();
   void TeardownEpoch();
   void StartThreads();
@@ -237,7 +238,21 @@ class LocalEngine {
   /// Runs a fused member's UDF synchronously on the chain head's thread:
   /// no queue, no envelope, and (off the sampling cadence) no clock read.
   /// Per-record metric attribution lands in the member's ChainMetricStaging.
-  void ChainInvoke(LocalTask* member, Record record, std::int64_t now_hint_ns);
+  void ChainInvoke(LocalTask* member, Record record, std::int64_t now_hint_ns)
+      ESP_NONALLOCATING;
+  /// The inner TaskLoop batch step: runs the UDF over `batch[0, n)` with
+  /// shared timestamp boundaries (record i's end is record i+1's start).
+  /// `processed` tracks the completed prefix AS the loop runs, so the
+  /// caller's catch can bank metrics for exactly the records that finished
+  /// and salvage the rest.  ESP_NONALLOCATING: the engine-side per-record
+  /// path performs no heap traffic; the UDF body itself is escaped (its
+  /// effects are the UDF author's contract, not the engine's).
+  void RunUdfBatch(LocalTask* task, RoutingCollector& collector,
+                   std::vector<Envelope>& batch, std::size_t n,
+                   std::vector<std::int64_t>& start_ns,
+                   std::vector<std::int64_t>& end_ns,
+                   std::vector<bool>& emitted_any, std::size_t& processed)
+      ESP_NONALLOCATING;
   /// Flushes every chain member's staged metrics into its samplers and its
   /// chained-edge channel sampler -- one lock acquisition per member per
   /// head batch.
@@ -363,7 +378,7 @@ class LocalEngine {
   // failure_mutex_ and is folded into result_.failures when Run returns.
   Mutex failure_mutex_;
   std::vector<FailureEvent> failures_ ESP_GUARDED_BY(failure_mutex_);
-  EngineResult result_;
+  EngineResult result_;  // esp-lint: allow(unguarded-mutex-field) -- control-thread exclusive; see comment above
 
   // Supervision.  failure_pending_ is raised by a dying task thread after
   // publishing its FailureEvent; the control thread clears it FIRST, then

@@ -35,6 +35,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/function_effects.h"
 #include "common/thread_annotations.h"
 
 namespace esp::runtime {
@@ -54,7 +55,7 @@ class BoundedQueue {
   /// the queue was closed (items are dropped).  A batch larger than the
   /// capacity is admitted once the queue is empty (no deadlock on oversize
   /// batches).
-  bool PushAll(std::vector<T>&& items) ESP_EXCLUDES(mutex_) {
+  bool PushAll(std::vector<T>&& items) ESP_EXCLUDES(mutex_) ESP_BLOCKING {
     return PushImpl(items, /*recycle=*/false);
   }
 
@@ -62,7 +63,7 @@ class BoundedQueue {
   /// semantics, but on return `items` is an EMPTY vector recharged with
   /// capacity from the spent-chunk pool (when one is available), so the
   /// caller's next batch needs no fresh allocation.
-  bool PushAll(std::vector<T>& items) ESP_EXCLUDES(mutex_) {
+  bool PushAll(std::vector<T>& items) ESP_EXCLUDES(mutex_) ESP_BLOCKING {
     return PushImpl(items, /*recycle=*/true);
   }
 
@@ -72,7 +73,7 @@ class BoundedQueue {
   /// queue empty and the flag false can conclude no item is in flight (the
   /// drain detector of stop-the-world rescaling relies on this).
   std::optional<T> PopFor(std::chrono::nanoseconds timeout,
-                          std::atomic<bool>* mark_busy = nullptr) ESP_EXCLUDES(mutex_) {
+                          std::atomic<bool>* mark_busy = nullptr) ESP_EXCLUDES(mutex_) ESP_BLOCKING {
     MutexLock lock(mutex_);
     if (!WaitNotEmpty(lock, timeout)) return std::nullopt;
     std::optional<T> item = std::move(ChunkFront()[front_pos_]);
@@ -94,7 +95,7 @@ class BoundedQueue {
   /// `mark_busy` follows the same under-the-lock contract as PopFor.
   std::size_t PopBatchFor(std::size_t max_items, std::chrono::nanoseconds timeout,
                           std::vector<T>& out,
-                          std::atomic<bool>* mark_busy = nullptr) ESP_EXCLUDES(mutex_) {
+                          std::atomic<bool>* mark_busy = nullptr) ESP_EXCLUDES(mutex_) ESP_BLOCKING {
     out.clear();
     MutexLock lock(mutex_);
     if (!WaitNotEmpty(lock, timeout)) return 0;
@@ -135,7 +136,7 @@ class BoundedQueue {
   /// closed flag.  Recovery-only: the supervisor uses it to return records
   /// salvaged from a failed task so the restarted incarnation sees them
   /// before anything newer.  Never called concurrently with itself.
-  void PushFront(std::vector<T>&& items) ESP_EXCLUDES(mutex_) {
+  void PushFront(std::vector<T>&& items) ESP_EXCLUDES(mutex_) ESP_BLOCKING {
     if (items.empty()) return;
     MutexLock lock(mutex_);
     // Normalise the partially consumed front chunk so chunk boundaries stay
@@ -153,7 +154,7 @@ class BoundedQueue {
   /// Removes and returns everything currently queued without waiting.
   /// Recovery-only: lets the supervisor salvage a failed task's backlog
   /// before tearing its queue down.
-  std::vector<T> DrainAll() ESP_EXCLUDES(mutex_) {
+  std::vector<T> DrainAll() ESP_EXCLUDES(mutex_) ESP_BLOCKING {
     std::vector<T> out;
     MutexLock lock(mutex_);
     out.reserve(size_);
@@ -171,7 +172,7 @@ class BoundedQueue {
   }
 
   /// Marks the queue closed; producers unblock, consumers drain what's left.
-  void Close() ESP_EXCLUDES(mutex_) {
+  void Close() ESP_EXCLUDES(mutex_) ESP_BLOCKING {
     MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.NotifyAll();
@@ -206,7 +207,7 @@ class BoundedQueue {
   /// recharged from the spent-chunk pool after its contents move in; the
   /// rvalue overload skips that (the argument is about to die, handing it
   /// pooled capacity would leak the capacity out of the cycle).
-  bool PushImpl(std::vector<T>& items, bool recycle) ESP_EXCLUDES(mutex_) {
+  bool PushImpl(std::vector<T>& items, bool recycle) ESP_EXCLUDES(mutex_) ESP_BLOCKING {
     if (items.empty()) return !closed();  // never store empty chunks
     MutexLock lock(mutex_);
     ++waiting_producers_;
@@ -270,20 +271,22 @@ class BoundedQueue {
   /// state, and pooling those would pin peak-backlog memory for the queue's
   /// whole life.  Capping retained capacity at `capacity_` keeps the pool's
   /// footprint at one queue's worth of elements, worst case.
-  void RecycleChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) {
+  void RecycleChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) ESP_NONALLOCATING {
     if (chunk.capacity() == 0 || pool_.size() >= kMaxPooledChunks ||
         pooled_capacity_ + chunk.capacity() > capacity_) {
       return;
     }
     pooled_capacity_ += chunk.capacity();
+    ESP_EFFECTS_ESCAPE_BEGIN  // clear() destroys moved-from elements (boxed-arm release is sanctioned teardown) and pool_ growth is bounded at kMaxPooledChunks slots
     chunk.clear();
     pool_.push_back(std::move(chunk));
+    ESP_EFFECTS_ESCAPE_END
   }
 
   /// Waits for an item or close; true iff an item is available.  `lock`
   /// must hold mutex_.
   bool WaitNotEmpty(MutexLock& lock, std::chrono::nanoseconds timeout)
-      ESP_REQUIRES(mutex_) {
+      ESP_REQUIRES(mutex_) ESP_BLOCKING {
     if (size_ == 0 && !closed_) {
       ++waiting_consumers_;
       const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -302,14 +305,16 @@ class BoundedQueue {
   /// watermark with no admissible batch stay silent -- that is the wakeup
   /// throttling: under sustained backpressure producers are woken once per
   /// drained batch, not once per record.
-  void WakeProducers() ESP_REQUIRES(mutex_) {
+  void WakeProducers() ESP_REQUIRES(mutex_) ESP_NONALLOCATING {
     if (waiting_producers_ == 0) return;
+    ESP_EFFECTS_ESCAPE_BEGIN  // condvar notify never sleeps; waiters re-check their predicate under mutex_
     if (size_ == 0) {
       not_full_.NotifyAll();
     } else if (size_ < low_watermark_ ||
                (size_ < capacity_ && capacity_ - size_ >= min_waiting_batch_)) {
       not_full_.NotifyOne();
     }
+    ESP_EFFECTS_ESCAPE_END
   }
 
   // ---- chunk FIFO -------------------------------------------------------
@@ -321,29 +326,41 @@ class BoundedQueue {
   // storage out by move and are refilled by move, so ring slots never free
   // or allocate element storage after the ring itself is sized.
 
-  std::vector<T>& ChunkFront() ESP_REQUIRES(mutex_) { return ring_[ring_head_]; }
+  std::vector<T>& ChunkFront() noexcept ESP_REQUIRES(mutex_) ESP_NONBLOCKING {
+    return ring_[ring_head_];
+  }
 
-  bool ChunksEmpty() const ESP_REQUIRES(mutex_) { return ring_count_ == 0; }
+  bool ChunksEmpty() const noexcept ESP_REQUIRES(mutex_) ESP_NONBLOCKING {
+    return ring_count_ == 0;
+  }
 
-  void PopFrontChunk() ESP_REQUIRES(mutex_) {
+  void PopFrontChunk() noexcept ESP_REQUIRES(mutex_) ESP_NONBLOCKING {
     ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
     --ring_count_;
   }
 
-  void PushBackChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) {
+  // The two chunk-store ops are ESP_NONALLOCATING, not nonblocking: they run
+  // under mutex_ by contract (ESP_REQUIRES) and their steady state touches no
+  // heap -- the target slot is a moved-from vector with no storage to free,
+  // and the ring only grows on the cold doubling edge escaped below.
+  void PushBackChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) ESP_NONALLOCATING {
+    ESP_EFFECTS_ESCAPE_BEGIN  // cold edges only: ring doubling, plus the formally-freeing move-assign into a storage-less slot
     GrowRingIfFull();
     ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = std::move(chunk);
+    ESP_EFFECTS_ESCAPE_END
     ++ring_count_;
   }
 
-  void PushFrontChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) {
+  void PushFrontChunk(std::vector<T>&& chunk) ESP_REQUIRES(mutex_) ESP_NONALLOCATING {
+    ESP_EFFECTS_ESCAPE_BEGIN  // cold edges only: ring doubling, plus the formally-freeing move-assign into a storage-less slot
     GrowRingIfFull();
     ring_head_ = (ring_head_ + ring_.size() - 1) & (ring_.size() - 1);
     ring_[ring_head_] = std::move(chunk);
+    ESP_EFFECTS_ESCAPE_END
     ++ring_count_;
   }
 
-  void GrowRingIfFull() ESP_REQUIRES(mutex_) {
+  void GrowRingIfFull() ESP_REQUIRES(mutex_) ESP_ALLOCATING {
     if (ring_count_ < ring_.size()) return;
     std::vector<std::vector<T>> bigger(ring_.size() * 2);
     for (std::size_t i = 0; i < ring_count_; ++i) {

@@ -21,14 +21,11 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/function_effects.h"
+
 namespace esp::runtime {
 
 class Record;
-
-template <typename T>
-Record MakeRecord(T value, std::uint64_t key = 0, std::uint8_t tag = 0);
-template <typename T>
-const T& Get(const Record& r);
 
 /// True when T is stored inline in the record (small-buffer optimization):
 /// trivially copyable, and fits the inline buffer's size and alignment.
@@ -36,6 +33,15 @@ const T& Get(const Record& r);
 template <typename T>
 inline constexpr bool IsInlinePayload =
     std::is_trivially_copyable_v<T> && sizeof(T) <= 24 && alignof(T) <= 8;
+
+// The effect attributes are part of the function type, so every declaration
+// repeats them: MakeRecord is nonblocking exactly for inline payloads (the
+// boxed arm allocates by design), Get is nonblocking unconditionally.
+template <typename T>
+Record MakeRecord(T value, std::uint64_t key = 0, std::uint8_t tag = 0)
+    ESP_NONBLOCKING_IF(IsInlinePayload<T>);
+template <typename T>
+const T& Get(const Record& r) ESP_NONBLOCKING;
 
 class Record {
  public:
@@ -87,9 +93,10 @@ class Record {
   }
 
   template <typename T>
-  friend Record MakeRecord(T value, std::uint64_t key, std::uint8_t tag);
+  friend Record MakeRecord(T value, std::uint64_t key, std::uint8_t tag)
+      ESP_NONBLOCKING_IF(IsInlinePayload<T>);
   template <typename T>
-  friend const T& Get(const Record& r);
+  friend const T& Get(const Record& r) ESP_NONBLOCKING;
   // NB: the friend templates are declared before the class (with their
   // default arguments); redeclaring defaults here would be ill-formed.
 
@@ -97,9 +104,9 @@ class Record {
   enum class Kind : std::uint8_t { kNone, kInline, kBoxed };
 
   template <typename T>
-  void EmplaceInline(const T& value) {
+  void EmplaceInline(const T& value) noexcept ESP_NONBLOCKING {
     static_assert(IsInlinePayload<T>);
-    ::new (static_cast<void*>(inline_)) T(value);
+    ::new (static_cast<void*>(inline_)) T(value);  // placement new: no heap
     kind_ = Kind::kInline;
   }
 
@@ -108,33 +115,41 @@ class Record {
     kind_ = Kind::kBoxed;
   }
 
-  void DestroyPayload() {
+  void DestroyPayload() noexcept ESP_NONBLOCKING {
     // Inline payloads are trivially destructible by construction; only the
     // boxed arm owns a resource.
-    if (kind_ == Kind::kBoxed) boxed_.~shared_ptr();
+    if (kind_ == Kind::kBoxed) {
+      ESP_EFFECTS_ESCAPE_BEGIN  // boxed-arm release is the sanctioned refcounted teardown of an oversize payload
+      boxed_.~shared_ptr();
+      ESP_EFFECTS_ESCAPE_END
+    }
   }
 
-  void CopyFrom(const Record& other) {
+  void CopyFrom(const Record& other) noexcept ESP_NONBLOCKING {
     key = other.key;
     source_emit_ns = other.source_emit_ns;
     tag = other.tag;
     kind_ = other.kind_;
     if (other.kind_ == Kind::kBoxed) {
+      ESP_EFFECTS_ESCAPE_BEGIN  // shared_ptr copy is a refcount increment, never an allocation or wait
       ::new (static_cast<void*>(&boxed_)) std::shared_ptr<const void>(other.boxed_);
+      ESP_EFFECTS_ESCAPE_END
     } else if (other.kind_ == Kind::kInline) {
       std::memcpy(inline_, other.inline_, kInlineCapacity);
     }
   }
 
-  void MoveFrom(Record& other) noexcept {
+  void MoveFrom(Record& other) noexcept ESP_NONBLOCKING {
     key = other.key;
     source_emit_ns = other.source_emit_ns;
     tag = other.tag;
     kind_ = other.kind_;
     if (other.kind_ == Kind::kBoxed) {
+      ESP_EFFECTS_ESCAPE_BEGIN  // destroying a just-moved-from (null) shared_ptr never deallocates
       ::new (static_cast<void*>(&boxed_))
           std::shared_ptr<const void>(std::move(other.boxed_));
       other.boxed_.~shared_ptr();
+      ESP_EFFECTS_ESCAPE_END
       other.kind_ = Kind::kNone;
     } else if (other.kind_ == Kind::kInline) {
       std::memcpy(inline_, other.inline_, kInlineCapacity);
@@ -160,7 +175,8 @@ static_assert(sizeof(std::shared_ptr<const void>) <= Record::kInlineCapacity,
 /// stored inline (no heap allocation); everything else is boxed.  The
 /// dispatch is compile-time, so call sites are identical for both layouts.
 template <typename T>
-Record MakeRecord(T value, std::uint64_t key, std::uint8_t tag) {
+Record MakeRecord(T value, std::uint64_t key, std::uint8_t tag)
+    ESP_NONBLOCKING_IF(IsInlinePayload<T>) {
   Record r;
   r.key = key;
   r.tag = tag;
@@ -177,15 +193,19 @@ Record MakeRecord(T value, std::uint64_t key, std::uint8_t tag) {
 /// layout mismatch (an inline-eligible T read from a boxed record or vice
 /// versa -- which is always a type-contract violation, caught cheaply).
 template <typename T>
-const T& Get(const Record& r) {
+const T& Get(const Record& r) ESP_NONBLOCKING {
   if constexpr (IsInlinePayload<T>) {
     if (r.kind_ != Record::Kind::kInline) {
+      ESP_EFFECTS_ESCAPE_BEGIN  // type-contract violation: throwing out of the hot path is the correct failure mode
       throw std::logic_error("Record::Get: no inline payload");
+      ESP_EFFECTS_ESCAPE_END
     }
     return *std::launder(reinterpret_cast<const T*>(r.inline_));
   } else {
     if (r.kind_ != Record::Kind::kBoxed) {
+      ESP_EFFECTS_ESCAPE_BEGIN  // type-contract violation: throwing out of the hot path is the correct failure mode
       throw std::logic_error("Record::Get: no boxed payload");
+      ESP_EFFECTS_ESCAPE_END
     }
     return *static_cast<const T*>(r.boxed_.get());
   }

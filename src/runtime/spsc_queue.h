@@ -53,6 +53,7 @@
 #include <iterator>
 #include <vector>
 
+#include "common/function_effects.h"
 #include "common/thread_annotations.h"
 
 namespace esp::runtime {
@@ -73,31 +74,24 @@ class SpscQueue {
   /// chunk via vector swap, and `items` comes back empty but carrying the
   /// slot's recycled capacity -- the same recharge contract as
   /// BoundedQueue's lvalue overload.
-  bool PushAll(std::vector<T>& items) ESP_EXCLUDES(park_mutex_) {
+  bool PushAll(std::vector<T>& items) ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     if (items.empty()) return !closed_.load(std::memory_order_seq_cst);
     for (;;) {
-      if (closed_.load(std::memory_order_seq_cst)) return false;
-      const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-      const std::uint64_t head = head_.load(std::memory_order_acquire);
-      if (tail - head == ring_.size() ||
-          items_.load(std::memory_order_seq_cst) >= capacity_) {
-        ParkProducer();
-        continue;
+      bool want_wake = false;
+      switch (TryPush(items, want_wake)) {
+        case PushStatus::kOk:
+          if (want_wake) WakeConsumer();
+          return true;
+        case PushStatus::kClosed:
+          return false;
+        case PushStatus::kFull:
+          ParkProducer();  // full ring IS the engine's backpressure
+          break;
       }
-      const std::size_t n = items.size();
-      ring_[static_cast<std::size_t>(tail) & mask_].swap(items);
-      items.clear();  // moved-from slot leftovers; keep its capacity
-      // Publish count before the cursor so size() never under-reports a
-      // visible chunk; both seq_cst so they order before the parked-flag
-      // read below (the Dekker handshake with ParkConsumer).
-      items_.fetch_add(n, std::memory_order_seq_cst);
-      tail_.store(tail + 1, std::memory_order_seq_cst);
-      if (consumer_parked_.load(std::memory_order_seq_cst)) WakeConsumer();
-      return true;
     }
   }
 
-  bool PushAll(std::vector<T>&& items) ESP_EXCLUDES(park_mutex_) {
+  bool PushAll(std::vector<T>&& items) ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     return PushAll(items);
   }
 
@@ -109,58 +103,25 @@ class SpscQueue {
   /// when given, is raised BEFORE the pop is published iff items return.
   std::size_t PopBatchFor(std::size_t max_items, std::chrono::nanoseconds timeout,
                           std::vector<T>& out,
-                          std::atomic<bool>* mark_busy = nullptr) ESP_EXCLUDES(park_mutex_) {
+                          std::atomic<bool>* mark_busy = nullptr)
+      ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     out.clear();
     if (stash_size_.load(std::memory_order_seq_cst) > 0) {
       const std::size_t n = TakeStash(max_items, out, mark_busy);
       if (n > 0) return n;
     }
-    const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    std::uint64_t tail = tail_.load(std::memory_order_seq_cst);
-    if (head == tail) {
+    bool want_wake = false;
+    std::size_t taken = PopReady(max_items, out, mark_busy, want_wake);
+    if (taken == 0) {
       if (closed_.load(std::memory_order_seq_cst)) return 0;
       ParkConsumer(timeout);
-      tail = tail_.load(std::memory_order_seq_cst);
       if (stash_size_.load(std::memory_order_seq_cst) > 0) {
         const std::size_t n = TakeStash(max_items, out, mark_busy);
         if (n > 0) return n;
       }
-      if (head == tail) return 0;
+      taken = PopReady(max_items, out, mark_busy, want_wake);
+      if (taken == 0) return 0;
     }
-    if (mark_busy != nullptr) mark_busy->store(true, std::memory_order_seq_cst);
-    std::uint64_t next = head;
-    std::size_t taken = 0;
-    while (next != tail && taken < max_items) {
-      std::vector<T>& chunk = ring_[static_cast<std::size_t>(next) & mask_];
-      const std::size_t remaining = chunk.size() - chunk_off_;
-      if (chunk_off_ == 0 && out.empty() && chunk.size() <= max_items) {
-        out.swap(chunk);  // zero-copy; slot inherits out's spare capacity
-        taken = out.size();
-      } else if (remaining <= max_items - taken) {
-        const auto begin = chunk.begin() + static_cast<std::ptrdiff_t>(chunk_off_);
-        out.insert(out.end(), std::make_move_iterator(begin),
-                   std::make_move_iterator(chunk.end()));
-        taken += remaining;
-        chunk.clear();
-        chunk_off_ = 0;
-      } else {
-        // Oversized chunk (batch_capacity > max_items): consume a partial
-        // run and leave the cursor on this chunk.
-        const std::size_t take = max_items - taken;
-        const auto begin = chunk.begin() + static_cast<std::ptrdiff_t>(chunk_off_);
-        out.insert(out.end(), std::make_move_iterator(begin),
-                   std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(take)));
-        chunk_off_ += take;
-        taken += take;
-        break;
-      }
-      ++next;
-    }
-    // One publication per pop; seq_cst orders it before the parked-flag
-    // read (the Dekker handshake with ParkProducer).
-    const bool ring_was_full = tail - head == ring_.size();
-    const std::size_t items_left = items_.fetch_sub(taken, std::memory_order_seq_cst) - taken;
-    head_.store(next, std::memory_order_seq_cst);
     // Throttled wake (see file header): taking the park mutex on EVERY pop
     // while the producer idles parked would make the saturated regime as
     // mutex-bound as BoundedQueue.  Waking only when the producer can make
@@ -168,17 +129,14 @@ class SpscQueue {
     // slot again -- amortises one wake over a quarter-queue of drain; the
     // producer's 1ms timed wait covers the corner where occupancy hovers
     // between the watermark and capacity.
-    if ((items_left < low_watermark_ || ring_was_full) &&
-        producer_parked_.load(std::memory_order_seq_cst)) {
-      WakeProducer();
-    }
+    if (want_wake) WakeProducer();
     return taken;
   }
 
   /// Re-admits items ahead of everything queued, ignoring capacity and the
   /// closed flag.  Recovery-only; requires a quiescent consumer (the
   /// restart paths join the task thread before calling this).
-  void PushFront(std::vector<T>&& items) ESP_EXCLUDES(park_mutex_) {
+  void PushFront(std::vector<T>&& items) ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     if (items.empty()) return;
     MutexLock lock(park_mutex_);
     stash_.insert(stash_.begin(), std::make_move_iterator(items.begin()),
@@ -192,7 +150,7 @@ class SpscQueue {
   /// because the real consumer is dead or joined before salvage runs.  The
   /// producer may still be live; the park mutex is held across the drain so
   /// a parked producer is re-checked, not stranded.
-  std::vector<T> DrainAll() ESP_EXCLUDES(park_mutex_) {
+  std::vector<T> DrainAll() ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     std::vector<T> out;
     MutexLock lock(park_mutex_);
     out.reserve(stash_.size() + items_.load(std::memory_order_seq_cst));
@@ -220,7 +178,7 @@ class SpscQueue {
 
   /// Marks the queue closed; the producer unblocks, the consumer drains
   /// what's left.
-  void Close() ESP_EXCLUDES(park_mutex_) {
+  void Close() ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     closed_.store(true, std::memory_order_seq_cst);
     MutexLock lock(park_mutex_);
     not_empty_.NotifyAll();
@@ -251,9 +209,91 @@ class SpscQueue {
     return n;
   }
 
+  enum class PushStatus { kOk, kFull, kClosed };
+
+  /// Lock-free producer fast path: one attempt to land `items` as a chunk.
+  /// Never parks, never takes the park mutex -- on kOk the caller owes the
+  /// consumer a wake iff `want_wake` came back true (the parked-flag read is
+  /// the producer half of the Dekker handshake, so it must stay ordered
+  /// after the seq_cst publication stores in here).
+  PushStatus TryPush(std::vector<T>& items, bool& want_wake) noexcept ESP_NONBLOCKING {
+    if (closed_.load(std::memory_order_seq_cst)) return PushStatus::kClosed;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == ring_.size() ||
+        items_.load(std::memory_order_seq_cst) >= capacity_) {
+      return PushStatus::kFull;
+    }
+    const std::size_t n = items.size();
+    ring_[static_cast<std::size_t>(tail) & mask_].swap(items);
+    items.clear();  // moved-from slot leftovers; keep its capacity
+    // Publish count before the cursor so size() never under-reports a
+    // visible chunk; both seq_cst so they order before the parked-flag
+    // read below (the Dekker handshake with ParkConsumer).
+    items_.fetch_add(n, std::memory_order_seq_cst);
+    tail_.store(tail + 1, std::memory_order_seq_cst);
+    want_wake = consumer_parked_.load(std::memory_order_seq_cst);
+    return PushStatus::kOk;
+  }
+
+  /// Lock-free consumer fast path: drains whatever the ring already holds
+  /// (up to `max_items`) without waiting; 0 when the ring is empty.
+  /// `want_wake` comes back true when the throttle says a parked producer
+  /// can now make real progress; the caller performs the actual (blocking)
+  /// wake so this stays a pure ring operation.
+  std::size_t PopReady(std::size_t max_items, std::vector<T>& out,
+                       std::atomic<bool>* mark_busy, bool& want_wake) noexcept
+      ESP_NONBLOCKING {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_seq_cst);
+    if (head == tail) return 0;
+    if (mark_busy != nullptr) mark_busy->store(true, std::memory_order_seq_cst);
+    std::uint64_t next = head;
+    std::size_t taken = 0;
+    while (next != tail && taken < max_items) {
+      std::vector<T>& chunk = ring_[static_cast<std::size_t>(next) & mask_];
+      const std::size_t remaining = chunk.size() - chunk_off_;
+      if (chunk_off_ == 0 && out.empty() && chunk.size() <= max_items) {
+        out.swap(chunk);  // zero-copy; slot inherits out's spare capacity
+        taken = out.size();
+      } else if (remaining <= max_items - taken) {
+        const auto begin = chunk.begin() + static_cast<std::ptrdiff_t>(chunk_off_);
+        ESP_EFFECTS_ESCAPE_BEGIN  // cold-start growth only: out keeps its capacity across pops, so steady-state inserts fit the reserve
+        out.insert(out.end(), std::make_move_iterator(begin),
+                   std::make_move_iterator(chunk.end()));
+        ESP_EFFECTS_ESCAPE_END
+        taken += remaining;
+        chunk.clear();
+        chunk_off_ = 0;
+      } else {
+        // Oversized chunk (batch_capacity > max_items): consume a partial
+        // run and leave the cursor on this chunk.
+        const std::size_t take = max_items - taken;
+        const auto begin = chunk.begin() + static_cast<std::ptrdiff_t>(chunk_off_);
+        ESP_EFFECTS_ESCAPE_BEGIN  // cold-start growth only: out keeps its capacity across pops, so steady-state inserts fit the reserve
+        out.insert(out.end(), std::make_move_iterator(begin),
+                   std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(take)));
+        ESP_EFFECTS_ESCAPE_END
+        chunk_off_ += take;
+        taken += take;
+        break;
+      }
+      ++next;
+    }
+    // One publication per pop; seq_cst orders it before the parked-flag
+    // read (the Dekker handshake with ParkProducer).
+    const bool ring_was_full = tail - head == ring_.size();
+    const std::size_t items_left =
+        items_.fetch_sub(taken, std::memory_order_seq_cst) - taken;
+    head_.store(next, std::memory_order_seq_cst);
+    want_wake = (items_left < low_watermark_ || ring_was_full) &&
+                producer_parked_.load(std::memory_order_seq_cst);
+    return taken;
+  }
+
   /// Consumer side of the park protocol.  Raise the flag, re-check, then
   /// sleep under the mutex with the predicate re-checked each wakeup.
-  void ParkConsumer(std::chrono::nanoseconds timeout) ESP_EXCLUDES(park_mutex_) {
+  void ParkConsumer(std::chrono::nanoseconds timeout) ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     consumer_parked_.store(true, std::memory_order_seq_cst);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     {
@@ -270,7 +310,7 @@ class SpscQueue {
   /// Producer side.  No overall deadline: a full queue IS the engine's
   /// backpressure, exactly like BoundedQueue's blocking PushAll.  The waits
   /// are timed anyway so a lost wakeup degrades to a 1ms hiccup, not a hang.
-  void ParkProducer() ESP_EXCLUDES(park_mutex_) {
+  void ParkProducer() ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     producer_parked_.store(true, std::memory_order_seq_cst);
     {
       MutexLock lock(park_mutex_);
@@ -288,12 +328,12 @@ class SpscQueue {
   /// Notifies with the park mutex held: the sleeper either still holds the
   /// mutex re-checking its predicate (we wait for it) or is already waiting
   /// (the notify lands).  Only reached on empty/full transitions.
-  void WakeConsumer() ESP_EXCLUDES(park_mutex_) {
+  void WakeConsumer() ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     MutexLock lock(park_mutex_);
     not_empty_.NotifyAll();
   }
 
-  void WakeProducer() ESP_EXCLUDES(park_mutex_) {
+  void WakeProducer() ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     MutexLock lock(park_mutex_);
     not_full_.NotifyAll();
   }
@@ -302,7 +342,7 @@ class SpscQueue {
   /// `stash_size_` drops so the drain detector cannot observe the records as
   /// neither queued nor in flight.
   std::size_t TakeStash(std::size_t max_items, std::vector<T>& out,
-                        std::atomic<bool>* mark_busy) ESP_EXCLUDES(park_mutex_) {
+                        std::atomic<bool>* mark_busy) ESP_EXCLUDES(park_mutex_) ESP_BLOCKING {
     MutexLock lock(park_mutex_);
     const std::size_t take = std::min(stash_.size(), max_items);
     if (take == 0) return 0;

@@ -1,0 +1,66 @@
+// Negative-compile probe for the Clang function-effects gate
+// (common/function_effects.h, CMake option ESP_FUNCTION_EFFECTS).
+//
+// cmake/EspNegativeCompile.cmake try_compiles this file three times on a
+// Clang with function-effect analysis (Clang 19+):
+//   1. as-is                           -> must COMPILE (the annotated clean
+//                                         path satisfies its own contract)
+//   2. with -DESP_EFFECTS_VIOLATE_LOCK -> must FAIL: a mutex acquisition
+//                                         inside an ESP_NONBLOCKING function
+//   3. with -DESP_EFFECTS_VIOLATE_NEW  -> must FAIL: an operator-new
+//                                         allocation inside ESP_NONBLOCKING
+// The violation legs prove the gate has teeth: if the attributes are ever
+// stubbed out, the -Werror=function-effects flag dropped, or the analysis
+// regresses, configure fails loudly instead of the hot-path contract eroding
+// silently.  (All three variants compile with ESP_FUNCTION_EFFECTS_ENABLED
+// defined, so the macros expand to the real attributes.)
+#include <cstdint>
+#include <mutex>  // esp-lint: allow(raw-sync-primitive) -- the probe needs a raw lock the effect analysis recognises as blocking
+
+#include "common/function_effects.h"
+
+namespace {
+
+std::uint64_t g_state = 1;
+std::mutex g_mutex;  // esp-lint: allow(raw-sync-primitive) -- see above
+
+/// The clean contract: pure arithmetic, no lock, no allocation, no throw.
+std::uint64_t Step(std::uint64_t x) noexcept ESP_NONBLOCKING {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+#if defined(ESP_EFFECTS_VIOLATE_LOCK)
+/// Violation 1: acquiring a mutex inside a nonblocking function must be
+/// rejected by -Werror=function-effects.
+std::uint64_t StepLocked(std::uint64_t x) noexcept ESP_NONBLOCKING {
+  std::lock_guard<std::mutex> lock(g_mutex);  // esp-lint: allow(raw-sync-primitive) -- deliberate violation arm
+  return x + g_state;
+}
+#endif
+
+#if defined(ESP_EFFECTS_VIOLATE_NEW)
+/// Violation 2: heap allocation inside a nonblocking function must be
+/// rejected by -Werror=function-effects (nonblocking subsumes nonallocating).
+std::uint64_t StepAllocating(std::uint64_t x) noexcept ESP_NONBLOCKING {
+  auto* p = new std::uint64_t(x);  // esp-lint: allow(hot-path-alloc) -- deliberate violation arm
+  const std::uint64_t v = *p;
+  delete p;
+  return v;
+}
+#endif
+
+}  // namespace
+
+int main() {
+  std::uint64_t v = Step(g_state);
+#if defined(ESP_EFFECTS_VIOLATE_LOCK)
+  v = StepLocked(v);
+#endif
+#if defined(ESP_EFFECTS_VIOLATE_NEW)
+  v = StepAllocating(v);
+#endif
+  return v != 0 ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+// Fixture: unseeded-rng must fire on seedless RNG construction in bench/
+// code and stay quiet on explicitly seeded engines.
+#include <cstdint>
+#include <random>
+
+struct Rng {
+  Rng() = default;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state = 1;
+};
+
+int main() {
+  std::random_device rd;  // lint-expect: unseeded-rng
+  std::mt19937_64 unseeded;  // lint-expect: unseeded-rng
+  Rng wrapper;  // lint-expect: unseeded-rng
+  std::mt19937_64 seeded(42);
+  Rng good(42);
+  return static_cast<int>((rd() ^ unseeded() ^ seeded() ^ wrapper.state ^
+                           good.state) &
+                          1);
+}

@@ -1,0 +1,41 @@
+// Fixture: lock-order-cycle.  ForwardOrder nests mu_a -> mu_b while
+// ReverseOrder nests mu_b -> mu_a; two threads running them concurrently
+// deadlock.  The acquisition-order graph has the cycle mu_a -> mu_b -> mu_a,
+// which no single function (or translation unit) exhibits on its own.
+// lint-expect-anyline: lock-order-cycle
+#include "common/annotations.h"
+
+namespace {
+
+Mutex mu_a;
+Mutex mu_b;
+
+int g_x = 0;
+
+void ForwardOrder() {
+  MutexLock a(mu_a);
+  MutexLock b(mu_b);
+  ++g_x;
+}
+
+void ReverseOrder() {
+  MutexLock b(mu_b);
+  MutexLock a(mu_a);
+  --g_x;
+}
+
+// Sequential (non-nested) scopes do not create order edges: taking mu_a and
+// mu_b one after the other can never deadlock.
+void SequentialIsFine() {
+  { MutexLock a(mu_a); ++g_x; }
+  { MutexLock b(mu_b); ++g_x; }
+}
+
+}  // namespace
+
+int DriveDeadlockFixture() {
+  ForwardOrder();
+  ReverseOrder();
+  SequentialIsFine();
+  return g_x;
+}

@@ -1,0 +1,64 @@
+// Fixture: the effect-contract rules.  blocking-in-nonblocking must fire on
+// a lock, an allocation, a throw, and a call into an ESP_BLOCKING function
+// when they sit inside an effect-annotated body outside any escape region;
+// escaped and unannotated variants stay clean.  bare-effect-escape must fire
+// on an escape with no reason comment.
+#include <cstdint>
+
+#include "common/annotations.h"
+
+namespace {
+
+Mutex g_mu;
+
+int* g_sink = nullptr;
+
+/// A function honestly annotated as blocking: callers with a nonblocking
+/// contract must not call it.
+void ParkUntilReady() ESP_BLOCKING {
+  MutexLock lock(g_mu);
+}
+
+std::uint64_t LocksWhileNonblocking(std::uint64_t x) noexcept ESP_NONBLOCKING {
+  MutexLock lock(g_mu);  // lint-expect: blocking-in-nonblocking
+  return x + 1;
+}
+
+std::uint64_t CallsBlockingWhileNonblocking(std::uint64_t x) noexcept
+    ESP_NONBLOCKING {
+  ParkUntilReady();  // lint-expect: blocking-in-nonblocking
+  return x + 2;
+}
+
+std::uint64_t AllocatesWhileNonallocating(std::uint64_t x) ESP_NONALLOCATING {
+  g_sink = new int(3);  // lint-expect: blocking-in-nonblocking
+  return x + static_cast<std::uint64_t>(*g_sink);
+}
+
+std::uint64_t EscapedColdEdge(std::uint64_t x) noexcept ESP_NONBLOCKING {
+  ESP_EFFECTS_ESCAPE_BEGIN  // fixture: sanctioned cold edge with a reason
+  MutexLock lock(g_mu);
+  ESP_EFFECTS_ESCAPE_END
+  return x + 4;
+}
+
+std::uint64_t BareEscape(std::uint64_t x) noexcept ESP_NONBLOCKING {
+  // lint-expect-next: bare-effect-escape
+  ESP_EFFECTS_ESCAPE_BEGIN
+  MutexLock lock(g_mu);
+  ESP_EFFECTS_ESCAPE_END
+  return x + 5;
+}
+
+std::uint64_t UnannotatedMayBlock(std::uint64_t x) {
+  MutexLock lock(g_mu);  // no effect contract on this function: clean
+  return x + 6;
+}
+
+}  // namespace
+
+std::uint64_t DriveEffectsFixture(std::uint64_t x) {
+  return LocksWhileNonblocking(x) + CallsBlockingWhileNonblocking(x) +
+         AllocatesWhileNonallocating(x) + EscapedColdEdge(x) + BareEscape(x) +
+         UnannotatedMayBlock(x);
+}

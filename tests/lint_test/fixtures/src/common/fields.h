@@ -1,0 +1,32 @@
+// Fixture: unguarded-mutex-field.  Inside the declaration run that holds
+// the Mutex itself, every mutable member must be ESP_GUARDED_BY, atomic,
+// const, or carry an allow naming its actual discipline.
+#ifndef LINT_FIXTURES_FIELDS_H_
+#define LINT_FIXTURES_FIELDS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/annotations.h"
+
+class Shard {
+ public:
+  void Add(int v);
+
+ private:
+  Mutex mutex_;
+  std::vector<int> values_ ESP_GUARDED_BY(mutex_);
+  std::size_t window_ ESP_GUARDED_BY(mutex_) = 0;
+  std::size_t cursor_ = 0;  // lint-expect: unguarded-mutex-field
+  std::atomic<int> hits_{0};
+  const std::size_t capacity_ = 64;
+  std::size_t epoch_ = 0;  // esp-lint: allow(unguarded-mutex-field) -- fixture: owner-thread only
+
+  // A separate declaration run with no Mutex in it is out of the rule's
+  // scope even when completely unguarded.
+  std::size_t scratch_ = 0;
+  std::vector<int> spill_;
+};
+
+#endif  // LINT_FIXTURES_FIELDS_H_

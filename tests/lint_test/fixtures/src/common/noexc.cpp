@@ -1,0 +1,29 @@
+// Fixture: throw-in-noexcept.  A throw lexically inside a noexcept function
+// and outside every try block is a guaranteed std::terminate; the same throw
+// under a try, or in a non-noexcept function, is fine.
+#include <stdexcept>
+
+int TerminatesOnThrow(int x) noexcept {
+  if (x < 0) {
+    throw std::invalid_argument("negative");  // lint-expect: throw-in-noexcept
+  }
+  return x;
+}
+
+int HandledThrow(int x) noexcept {
+  try {
+    if (x < 0) {
+      throw std::invalid_argument("negative");
+    }
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+  return x;
+}
+
+int PlainThrow(int x) {
+  if (x < 0) {
+    throw std::invalid_argument("negative");
+  }
+  return x;
+}

@@ -1,0 +1,23 @@
+// Fixture: bare-nolint and the suppression contract itself.  NOLINT must
+// name a check and carry a reason; esp-lint allows must carry a reason.
+#include <cstdint>
+
+std::uint64_t Rotate(std::uint64_t x) {
+  return (x << 1) | (x >> 63);  // NOLINT  // lint-expect: bare-nolint
+}
+
+std::uint64_t RotateNamedNoReason(std::uint64_t x) {
+  // lint-expect-next: bare-nolint
+  return (x << 1) | (x >> 63);  // NOLINT(hicpp-signed-bitwise)
+}
+
+std::uint64_t RotateJustified(std::uint64_t x) {
+  return (x << 1) | (x >> 63);  // NOLINT(hicpp-signed-bitwise) intentional unsigned rotate
+}
+
+// An allow without a reason is itself a violation of the suppression
+// contract, reported under the [suppression] pseudo-rule.
+std::uint64_t Widen(std::uint64_t x) {
+  // lint-expect-next: suppression
+  return x * 2;  // esp-lint: allow(hot-path-alloc)
+}

@@ -1,0 +1,59 @@
+// Fixture: raw-sync-primitive, unbounded-queue, detached-thread and
+// swallowed-exception must each fire exactly once here; the suppressed and
+// structurally-sound variants must stay clean.
+#include <deque>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.h"
+
+struct FailureEvent {
+  const char* what = "";
+};
+
+std::vector<FailureEvent> failures_;
+
+void RawPrimitive() {
+  std::mutex m;  // lint-expect: raw-sync-primitive
+  (void)m;
+}
+
+void AllowedPrimitive() {
+  std::mutex m;  // esp-lint: allow(raw-sync-primitive) -- fixture: sanctioned interop with a C API
+  (void)m;
+}
+
+struct UnboundedChannel {
+  std::deque<int> items;  // lint-expect: unbounded-queue
+  std::list<int> overflow;  // lint-expect: unbounded-queue
+};
+
+void Detach() {
+  std::thread([] {}).detach();  // lint-expect: detached-thread
+}
+
+void Swallow() {
+  try {
+    throw std::runtime_error("boom");
+  } catch (...) {  // lint-expect: swallowed-exception
+  }
+}
+
+void RecordsFailure() {
+  try {
+    throw std::runtime_error("boom");
+  } catch (...) {
+    failures_.push_back(FailureEvent{"recorded"});
+  }
+}
+
+void Rethrows() {
+  try {
+    throw std::runtime_error("boom");
+  } catch (...) {
+    throw;
+  }
+}

@@ -1,0 +1,30 @@
+// Fixture: hot-path-alloc must fire on heap allocation in a hot-path file
+// (this path, src/runtime/record.h, is on the linter's hot-path list), must
+// NOT fire on placement new, and must honour a reasoned allow.
+#ifndef LINT_FIXTURES_RECORD_H_
+#define LINT_FIXTURES_RECORD_H_
+
+#include <memory>
+#include <new>
+
+struct Payload {
+  int value = 0;
+};
+
+inline Payload* BadAlloc() {
+  return new Payload();  // lint-expect: hot-path-alloc
+}
+
+inline std::shared_ptr<Payload> BadMakeShared() {
+  return std::make_shared<Payload>();  // lint-expect: hot-path-alloc
+}
+
+inline Payload* FinePlacement(void* storage) {
+  return ::new (storage) Payload();  // placement new constructs in-place: clean
+}
+
+inline std::shared_ptr<Payload> SanctionedBoxing() {
+  return std::make_shared<Payload>();  // esp-lint: allow(hot-path-alloc) -- fixture: the one sanctioned boxing path
+}
+
+#endif  // LINT_FIXTURES_RECORD_H_

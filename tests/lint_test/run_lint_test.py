@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/esp_lint.py: every rule must both FIRE on a known
+violation and RESPECT a reasoned suppression.
+
+The fixture tree under fixtures/ replicates the repo layout (src/runtime/,
+bench/, ...) because several rules are path-scoped.  Violating lines carry a
+marker comment naming the rule the linter must report for that exact line:
+
+    <violating code>  // lint-expect: <rule>
+    // lint-expect-next: <rule>        (marker on the line above, for rules
+                                        that would read a trailing comment
+                                        as their own suppression/reason)
+    // lint-expect-anyline: <rule>     (file-level: the rule must fire
+                                        somewhere in this file -- used for
+                                        graph rules whose anchor line is an
+                                        implementation detail)
+
+The driver runs the linter with --root fixtures in the requested mode and
+asserts the reported set equals the expected set in BOTH directions: a
+missing report means the rule lost its teeth; an extra report means a false
+positive that would break the real tree's clean run.
+
+Usage: run_lint_test.py --mode {regex|ast} [--lint <path-to-esp_lint.py>]
+In ast mode, exits 77 (ctest SKIP) when the linter reports AST unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+DEFAULT_LINT = HERE.parent.parent / "scripts" / "esp_lint.py"
+
+EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([a-z-]+)")
+EXPECT_NEXT_RE = re.compile(r"//\s*lint-expect-next:\s*([a-z-]+)")
+EXPECT_ANYLINE_RE = re.compile(r"//\s*lint-expect-anyline:\s*([a-z-]+)")
+REPORT_RE = re.compile(r"^\s*(?P<file>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+
+def collect_expectations() -> tuple[set[tuple[str, int, str]], set[tuple[str, str]]]:
+    exact: set[tuple[str, int, str]] = set()
+    anyline: set[tuple[str, str]] = set()
+    for path in sorted(FIXTURES.rglob("*")):
+        if not path.is_file() or path.suffix not in (".h", ".cpp", ".cc", ".hpp"):
+            continue
+        rel = str(path.relative_to(FIXTURES))
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                exact.add((rel, lineno, m.group(1)))
+            m = EXPECT_NEXT_RE.search(line)
+            if m:
+                exact.add((rel, lineno + 1, m.group(1)))
+            m = EXPECT_ANYLINE_RE.search(line)
+            if m:
+                anyline.add((rel, m.group(1)))
+    return exact, anyline
+
+
+def write_compile_commands(build_dir: Path) -> None:
+    """A minimal compilation database so the AST backend can parse the
+    fixture .cpp files (headers are analyzed by the line rules directly)."""
+    entries = []
+    for cpp in sorted(FIXTURES.rglob("*.cpp")):
+        entries.append({
+            "directory": str(FIXTURES),
+            "file": str(cpp),
+            "arguments": ["c++", "-std=c++17", f"-I{FIXTURES / 'src'}",
+                          "-c", str(cpp)],
+        })
+    (build_dir / "compile_commands.json").write_text(json.dumps(entries))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--mode", choices=["regex", "ast"], required=True)
+    ap.add_argument("--lint", type=Path, default=DEFAULT_LINT)
+    args = ap.parse_args()
+
+    expected_exact, expected_anyline = collect_expectations()
+    if not expected_exact:
+        print("lint_test: no expectations found -- fixture tree broken?",
+              file=sys.stderr)
+        return 1
+
+    cmd = [sys.executable, str(args.lint), "--mode", args.mode,
+           "--root", str(FIXTURES)]
+    tmp = None
+    if args.mode == "ast":
+        tmp = tempfile.mkdtemp(prefix="esp_lint_ccj_")
+        write_compile_commands(Path(tmp))
+        cmd += ["--build-dir", tmp]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    if proc.returncode == 77:
+        print("lint_test: AST backend unavailable; skipping", file=sys.stderr)
+        return 77
+    if proc.returncode == 0:
+        print("lint_test: linter reported ZERO violations on a fixture tree "
+              "full of them -- every rule has lost its teeth", file=sys.stderr)
+        return 1
+
+    reported: set[tuple[str, int, str]] = set()
+    for line in proc.stderr.splitlines():
+        m = REPORT_RE.match(line)
+        if m:
+            reported.add((m.group("file"), int(m.group("line")), m.group("rule")))
+
+    # Peel off anyline expectations first: any report of that rule in that
+    # file satisfies (and consumes) them.
+    satisfied_any = set()
+    leftover = set(reported)
+    for rel, rule in expected_anyline:
+        hits = {r for r in leftover if r[0] == rel and r[2] == rule}
+        if hits:
+            satisfied_any.add((rel, rule))
+            leftover -= hits
+    missing_any = expected_anyline - satisfied_any
+
+    missing = expected_exact - leftover
+    extra = leftover - expected_exact
+
+    ok = True
+    for rel, lineno, rule in sorted(missing):
+        ok = False
+        print(f"lint_test: MISSING  {rel}:{lineno} expected [{rule}] "
+              f"but the linter did not report it", file=sys.stderr)
+    for rel, rule in sorted(missing_any):
+        ok = False
+        print(f"lint_test: MISSING  {rel} expected [{rule}] somewhere "
+              f"in the file but the linter did not report it", file=sys.stderr)
+    for rel, lineno, rule in sorted(extra):
+        ok = False
+        print(f"lint_test: EXTRA    {rel}:{lineno} [{rule}] reported but "
+              f"not expected -- false positive", file=sys.stderr)
+    if ok:
+        n = len(expected_exact) + len(expected_anyline)
+        rules = {r for _, _, r in expected_exact} | {r for _, r in expected_anyline}
+        print(f"lint_test[{args.mode}]: OK -- {n} expected violations across "
+              f"{len(rules)} rules all fired; no false positives")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
