@@ -26,6 +26,17 @@
 // default configuration).  `--chaining on|off` / `--spsc on|off` override
 // the BASE rows, e.g. to measure recovery overhead under fusion.
 //
+// Fan-in rows: "fanin" runs N full-blast sources (default 8, `--fanin N`)
+// into a single sink so the multi-producer input path is measured, not just
+// the 1:1 pipeline.  These rows cap the output batch at 8 records: the row
+// exists to measure the fan-in edge's per-push synchronization (the cost
+// the §14 lanes remove), and 64-record producer batches would amortize
+// exactly that cost into the noise.  The default run also emits
+// "fanin/mpsc", the same topology with per-producer SPSC lanes disabled
+// (one shared locked BoundedQueue) -- the DESIGN.md §14 ablation.
+// `--no-lanes` instead makes the "fanin" row itself run laneless, for
+// same-named cross-run comparison.
+//
 // Overload mode: `--overload-burst` replaces the shipping rows with a
 // saturation scenario -- a full-blast source against a ~200 us/record map
 // (offered load far over capacity, no scaling headroom) under a 5 ms
@@ -36,8 +47,10 @@
 //
 // Usage: micro_engine [--records N] [--queue N] [--batch N] [--seed S]
 //                     [--payload-size 8|24|64] [--chaining on|off]
-//                     [--spsc on|off] [--fail-at N] [--policy P]
+//                     [--spsc on|off] [--fanin N] [--no-lanes]
+//                     [--fail-at N] [--policy P]
 //                     [--overload-burst] [--tsv] [--json]
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <cstdio>
@@ -277,6 +290,65 @@ Row RunOnce(const char* name, ShippingStrategy shipping, int records,
   return row;
 }
 
+// Fan-in topology: `fanin` full-blast sources feed ONE sink, so the sink's
+// input queue is the multi-producer edge the §14 lanes exist for.  With
+// `lanes` on, each source gets its own SPSC lane merged round-robin by the
+// sink; off is the ablation (one shared mutex-guarded BoundedQueue).  The
+// record budget is split evenly across sources (remainder on subtask 0) so
+// the delivered total stays `records` and exactness still closes.
+template <typename P>
+Row RunFanin(const char* name, int records, std::size_t queue_capacity,
+             std::uint32_t batch_capacity, int fanin, bool lanes) {
+  JobGraph g;
+  const auto src = g.AddVertex(
+      {.name = "Src", .parallelism = static_cast<std::uint32_t>(fanin),
+       .max_parallelism = static_cast<std::uint32_t>(fanin)});
+  const auto snk = g.AddVertex({.name = "Snk", .parallelism = 1, .max_parallelism = 1});
+  g.Connect(src, snk, WiringPattern::kRoundRobin);
+
+  LocalEngineOptions opts;
+  opts.shipping = esp::ShippingStrategy::kAdaptive;
+  opts.queue_capacity = queue_capacity;
+  opts.batch_capacity = batch_capacity;
+  opts.chaining = false;  // nothing to fuse: every edge here is fan-in > 1
+  opts.spsc_channels = false;
+  opts.fanin_lanes = lanes;
+
+  const int per_source = records / fanin;
+  const int remainder = records % fanin;
+  LocalEngine engine(std::move(g), opts);
+  engine.SetSource("Src", [per_source, remainder](std::uint32_t subtask) {
+    return std::make_unique<BlastSource<P>>(per_source +
+                                            (subtask == 0 ? remainder : 0));
+  });
+  engine.SetUdf("Snk", [](std::uint32_t) { return std::make_unique<NullSink>(); });
+
+  const std::uint64_t allocs_before = esp::TotalAllocs();
+  const auto t0 = std::chrono::steady_clock::now();
+  const EngineResult result = engine.Run(FromSeconds(120));
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs_after = esp::TotalAllocs();
+
+  Row row;
+  row.config = name;
+  row.records = records;
+  row.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  row.rate = static_cast<double>(result.records_delivered) / row.elapsed_s;
+  if (esp::AllocCountingEnabled() && result.records_delivered > 0) {
+    row.allocs_per_record = static_cast<double>(allocs_after - allocs_before) /
+                            static_cast<double>(result.records_delivered);
+  }
+  row.p50_ms = result.latency.Quantile(0.5) * 1e3;
+  row.p99_ms = result.latency.Quantile(0.99) * 1e3;
+  row.restarts = result.restarts;
+  row.redelivered = result.records_redelivered;
+  row.exact = result.clean() &&
+              result.records_emitted == static_cast<std::uint64_t>(records) &&
+              result.records_delivered == static_cast<std::uint64_t>(records) &&
+              result.latency.count() == static_cast<std::uint64_t>(records);
+  return row;
+}
+
 // One saturation run for --overload-burst: full-blast source, ~200 us/record
 // map, 5 ms constraint, no elastic headroom.  With `guard` off this is the
 // baseline failure mode (the run simply takes offered/capacity as long and
@@ -343,10 +415,11 @@ Row RunOverloadBurst(const char* name, int records, std::uint32_t batch_capacity
 }
 
 // Runs the three shipping strategies (base rows, chaining/spsc as given)
-// plus the fast-path comparison rows on the adaptive strategy.
+// plus the fast-path comparison rows on the adaptive strategy and the
+// fan-in rows (lanes vs. the `--no-lanes` / "fanin/mpsc" ablation).
 template <typename P>
 std::vector<Row> RunAll(int records, int queue, int batch, const FaultConfig& fc,
-                        bool chaining, bool spsc) {
+                        bool chaining, bool spsc, int fanin, bool no_lanes) {
   const auto q = static_cast<std::size_t>(queue);
   const auto b = static_cast<std::uint32_t>(batch);
   std::vector<Row> rows;
@@ -362,6 +435,14 @@ std::vector<Row> RunAll(int records, int queue, int batch, const FaultConfig& fc
                             b, fc, /*chaining=*/true, /*spsc=*/false));
   rows.push_back(RunOnce<P>("chained+spsc", esp::ShippingStrategy::kAdaptive,
                             records, q, b, fc, /*chaining=*/true, /*spsc=*/true));
+  // Small batches by design: the fan-in row measures the edge's per-push
+  // synchronization, which large batches would amortize away (see header).
+  const auto fb = std::min<std::uint32_t>(b, 8);
+  rows.push_back(RunFanin<P>("fanin", records, q, fb, fanin, /*lanes=*/!no_lanes));
+  if (!no_lanes) {
+    // Same-run ablation so a single --json artifact carries the comparison.
+    rows.push_back(RunFanin<P>("fanin/mpsc", records, q, fb, fanin, /*lanes=*/false));
+  }
   return rows;
 }
 
@@ -388,14 +469,20 @@ static int Run(int argc, char** argv) {
   // they stay comparable across releases; the engine itself defaults to on.
   const bool chaining = std::strcmp(ArgStr(argc, argv, "--chaining", "off"), "on") == 0;
   const bool spsc = std::strcmp(ArgStr(argc, argv, "--spsc", "off"), "on") == 0;
+  const int fanin = ArgInt(argc, argv, "--fanin", 8);
+  const bool no_lanes = HasFlag(argc, argv, "--no-lanes");
+  if (fanin < 1) {
+    std::fprintf(stderr, "--fanin must be >= 1 (got %d)\n", fanin);
+    return 2;
+  }
 
   Section("micro_engine: 1-source/1-map/1-sink, trivial UDFs, full blast");
   std::printf("records=%d queue_capacity=%d batch_capacity=%d payload_size=%d (%s) "
-              "seed=%llu base_chaining=%s base_spsc=%s\n",
+              "seed=%llu base_chaining=%s base_spsc=%s fanin=%d lanes=%s\n",
               records, queue, batch, payload_size,
               payload_size <= 24 ? "inline" : "boxed",
               static_cast<unsigned long long>(fc.seed), chaining ? "on" : "off",
-              spsc ? "on" : "off");
+              spsc ? "on" : "off", fanin, no_lanes ? "off" : "on");
   if (fc.fail_at > 0) {
     std::printf("fault: Map[0] throws at record %d, policy=%s\n", fc.fail_at,
                 ArgStr(argc, argv, "--policy", "restart-task"));
@@ -409,7 +496,7 @@ static int Run(int argc, char** argv) {
       rows.push_back(RunOverloadBurst<P>("burst/guard-off", records, b, false));
       rows.push_back(RunOverloadBurst<P>("burst/guard-on", records, b, true));
     } else {
-      rows = RunAll<P>(records, queue, batch, fc, chaining, spsc);
+      rows = RunAll<P>(records, queue, batch, fc, chaining, spsc, fanin, no_lanes);
     }
   };
   switch (payload_size) {

@@ -45,19 +45,22 @@ cmake -B build-alloc -S . -DCMAKE_BUILD_TYPE=Release -DESP_COUNT_ALLOCS=ON >/dev
 cmake --build build-alloc -j "$JOBS" --target runtime_test
 ./build-alloc/tests/runtime_test --gtest_filter='AllocCounting.*'
 
-echo "== ThreadSanitizer build of runtime_test =="
+echo "== ThreadSanitizer build of runtime_test + fanin_test =="
 cmake -B build-tsan -S . -DESP_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target runtime_test
+cmake --build build-tsan -j "$JOBS" --target runtime_test --target fanin_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/fanin_test
 
-echo "== AddressSanitizer build of runtime_test =="
+echo "== AddressSanitizer build of runtime_test + fanin_test =="
 cmake -B build-asan -S . -DESP_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$JOBS" --target runtime_test
+cmake --build build-asan -j "$JOBS" --target runtime_test --target fanin_test
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" ./build-asan/tests/runtime_test
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" ./build-asan/tests/fanin_test
 
-echo "== UndefinedBehaviorSanitizer build of runtime_test =="
+echo "== UndefinedBehaviorSanitizer build of runtime_test + fanin_test =="
 cmake -B build-ubsan -S . -DESP_SANITIZE=undefined >/dev/null
-cmake --build build-ubsan -j "$JOBS" --target runtime_test
+cmake --build build-ubsan -j "$JOBS" --target runtime_test --target fanin_test
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/runtime_test
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/fanin_test
 
 echo "All checks passed."

@@ -126,6 +126,8 @@ HOT_PATH_FILES = {
     Path("src/runtime/queue.h"),
     Path("src/runtime/spsc_queue.h"),
     Path("src/runtime/chain.h"),
+    Path("src/runtime/claim.h"),
+    Path("src/runtime/fanin_lanes.h"),
 }
 NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?(?P<rest>.*)")
 NOLINT_OK_RE = re.compile(r"^\((?P<checks>[\w\-.,*]+)\)\s*(?P<reason>\S.*)?$")

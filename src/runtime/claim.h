@@ -1,0 +1,94 @@
+// ProducerClaim: the ownership protocol behind the lock-free emit path
+// (DESIGN.md §14).  A channel's staging buffer has exactly one steady-state
+// writer -- the thread that runs the producer task -- so guarding every
+// per-record append with a mutex pays contention machinery for a conflict
+// that almost never exists.  ProducerClaim replaces the mutex with a single
+// atomic claim flag plus a flush-delegation flag:
+//
+//   * The OWNER (producer thread) claims with one uncontended CAS per
+//     append, mutates the buffer, and releases with one store.  Claim holds
+//     are BOUNDED AND SHORT by contract: nothing blocking -- no queue push,
+//     no condvar, no I/O -- may happen under a claim.  That bound is what
+//     makes the stealer's spin below terminate.
+//   * A STEALER (the control thread's force-flush / quarantine accounting)
+//     first raises `flush_requested` -- the delegation half of the
+//     handshake: an ACTIVE owner observes it at its next append or flush
+//     boundary and performs the flush itself -- then spins for the claim
+//     with a bounded grace (`TryAcquireFor`).  An IDLE owner is not
+//     appending, so the steal succeeds on the first iteration; an active
+//     owner either releases within its bounded hold or honors the
+//     delegated request.  Either way the flush happens exactly once.
+//
+// Memory ordering: Release() publishes with `release`; TryAcquire() reads
+// with `acquire` (exchange), so everything written under a claim
+// happens-before the next claimer's critical section -- the same edge a
+// mutex would provide, minus the futex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/function_effects.h"
+
+namespace esp::runtime {
+
+class ProducerClaim {
+ public:
+  /// One CAS; the steady-state owner path.  Fails only while another thread
+  /// holds the claim (a stealer, or the owner itself on a re-entrant path
+  /// that must not exist).
+  bool TryAcquire() noexcept ESP_NONBLOCKING {
+    return !claimed_.exchange(true, std::memory_order_acquire);
+  }
+
+  /// Spins (with yield) until the claim is acquired.  Safe ONLY because
+  /// claim holds are bounded and short by contract; used where giving up is
+  /// not an option (exactly-once accounting of a quarantined task's
+  /// buffers).  Yielding matters: on a saturated machine the holder needs
+  /// the core to reach its Release.
+  void Acquire() noexcept ESP_BLOCKING {
+    while (!TryAcquire()) std::this_thread::yield();
+  }
+
+  /// Bounded steal: spins for at most `grace`.  False means an ACTIVE owner
+  /// kept the claim the whole time -- the caller must have raised
+  /// RequestFlush() first, so the owner performs the delegated flush at its
+  /// next append/flush boundary instead.
+  bool TryAcquireFor(std::chrono::nanoseconds grace) noexcept ESP_BLOCKING {
+    if (TryAcquire()) return true;
+    const auto deadline = std::chrono::steady_clock::now() + grace;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (TryAcquire()) return true;
+      std::this_thread::yield();
+    }
+    return TryAcquire();
+  }
+
+  void Release() noexcept ESP_NONBLOCKING {
+    claimed_.store(false, std::memory_order_release);
+  }
+
+  /// Stealer half of the flush-delegation handshake.  `release` pairs with
+  /// the owner's acquire read so a request raised before the owner's next
+  /// boundary check is seen by it.
+  void RequestFlush() noexcept ESP_NONBLOCKING {
+    flush_requested_.store(true, std::memory_order_release);
+  }
+
+  /// Owner-side boundary check (one relaxed-ish load per append).
+  bool FlushRequested() const noexcept ESP_NONBLOCKING {
+    return flush_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Cleared by whichever side performs the flush, under the claim.
+  void ClearFlushRequest() noexcept ESP_NONBLOCKING {
+    flush_requested_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> claimed_{false};
+  std::atomic<bool> flush_requested_{false};
+};
+
+}  // namespace esp::runtime

@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "qos/sampler.h"
 #include "runtime/chain.h"
+#include "runtime/claim.h"
+#include "runtime/fanin_lanes.h"
 #include "runtime/spsc_queue.h"
 
 namespace esp::runtime {
@@ -22,6 +24,10 @@ namespace {
 /// Records drained per queue lock acquisition in TaskLoopBody.  Amortizes
 /// the lock, the wakeup, and the metric bookkeeping over the batch.
 constexpr std::size_t kPopBatch = 64;
+/// How long a control-thread force-flush spins for a channel's claim before
+/// delegating the flush to the active owner via flush_requested.  Claim
+/// holds are tens of nanoseconds, so 2ms is pure defense in depth.
+constexpr nanoseconds kClaimStealGrace{2'000'000};
 }  // namespace
 
 const char* ToString(FailureAction action) {
@@ -54,17 +60,36 @@ struct LocalEngine::Channel {
   /// edge's Table-I metrics (zero latency, true item count) so the latency
   /// model never sees a hole in a constrained sequence.
   bool chained = false;
+  /// This producer's lane index in the consumer's FaninLanes array (0 when
+  /// the consumer has no lanes).  Assigned at epoch build, read by
+  /// DeliverBatch on every flush.
+  std::uint32_t lane = 0;
 
-  Mutex mutex;
-  std::vector<Envelope> buffer ESP_GUARDED_BY(mutex);
+  // Producer-owned staging (DESIGN.md §14): `buffer`/`spare` are touched
+  // ONLY while `claim` is held.  The steady-state claimer is the one thread
+  // that flushes this producer's channels (the task's own thread, or its
+  // chain head's); the control thread STEALS the claim only through
+  // FlushChannel(force)'s bounded grace protocol or shed-accounting's
+  // unbounded-but-terminating spin, both against bounded claim holds.  The
+  // claim replaces the old per-record channel mutex -- appends are
+  // lock-free on the producer side.
+  ProducerClaim claim;
+  std::vector<Envelope> buffer;
   // Recycled batch storage: when a flush swaps `buffer` out, `spare` (the
   // empty-but-with-capacity vector DeliverBatch got back from the consumer
   // queue's chunk pool on the previous flush) swaps in, so the next Append
   // starts with capacity instead of allocating.
-  std::vector<Envelope> spare ESP_GUARDED_BY(mutex);
+  std::vector<Envelope> spare;
+
+  // The mutex now guards ONLY the sampler (harvested by the control thread,
+  // offered to by producer flushes and the consumer's per-batch pass); the
+  // buffer critical section no longer takes it.
+  Mutex mutex;
   ChannelSampler sampler ESP_GUARDED_BY(mutex){1.0, 1};
-  // Written under mutex, read lock-free: FlushExpired's not-due pre-check
-  // (0 = buffer empty) and Append's deadline test.  The deadline caches
+
+  // Written under the claim, read lock-free: FlushExpired's not-due
+  // pre-check and the rescale drain detector rely on the invariant
+  // `first_entry_ns != 0  <=>  buffer non-empty`.  The deadline caches
   // edge_deadlines_ so the per-record path skips the hash lookup.
   std::atomic<std::int64_t> first_entry_ns{0};
   std::atomic<SimDuration> flush_deadline{0};
@@ -80,39 +105,58 @@ struct LocalEngine::LocalTask {
   std::unique_ptr<Udf> udf;
   std::unique_ptr<SourceFunction> source;
   // Input queue, selected per epoch (BuildEpoch): the lock-free SPSC ring
-  // when exactly one producer task feeds this task, the mutex-guarded MPSC
-  // queue otherwise.  Both null for sources and for fused chain members.
+  // when exactly one producer task feeds this task, per-producer SPSC
+  // fan-in lanes when more than one does (DESIGN.md §14), the mutex-guarded
+  // MPSC queue otherwise (fast paths disabled, or the no-producer corner).
+  // All null for sources and for fused chain members.
   std::unique_ptr<BoundedQueue<Envelope>> queue;
   std::unique_ptr<SpscQueue<Envelope>> spsc;
+  std::unique_ptr<FaninLanes<Envelope>> lanes;
   std::thread thread;
 
-  // Queue dispatch: every engine path goes through these so the two
+  // Queue dispatch: every engine path goes through these so the three
   // specialisations stay behaviourally interchangeable (same blocking,
-  // close, salvage and mark_busy contracts).
-  bool HasQueue() const { return queue != nullptr || spsc != nullptr; }
-  bool QueuePush(std::vector<Envelope>& batch) {
-    return spsc ? spsc->PushAll(batch) : queue->PushAll(batch);
+  // close, salvage and mark_busy contracts).  `lane` routes a push to the
+  // producer's own lane and is ignored by the single-queue shapes.
+  bool HasQueue() const {
+    return queue != nullptr || spsc != nullptr || lanes != nullptr;
+  }
+  bool QueuePush(std::vector<Envelope>& batch, std::uint32_t lane = 0) {
+    return lanes ? lanes->PushAll(lane, batch)
+           : spsc ? spsc->PushAll(batch)
+                  : queue->PushAll(batch);
   }
   std::size_t QueuePop(std::size_t max_items, std::chrono::nanoseconds timeout,
                        std::vector<Envelope>& out, std::atomic<bool>* mark_busy) {
-    return spsc ? spsc->PopBatchFor(max_items, timeout, out, mark_busy)
-                : queue->PopBatchFor(max_items, timeout, out, mark_busy);
+    return lanes ? lanes->PopBatchFor(max_items, timeout, out, mark_busy)
+           : spsc ? spsc->PopBatchFor(max_items, timeout, out, mark_busy)
+                  : queue->PopBatchFor(max_items, timeout, out, mark_busy);
   }
   void QueueClose() {
-    if (spsc) {
+    if (lanes) {
+      lanes->Close();
+    } else if (spsc) {
       spsc->Close();
     } else if (queue) {
       queue->Close();
     }
   }
-  bool QueueClosed() const { return spsc ? spsc->closed() : queue->closed(); }
-  bool QueueEmpty() const { return spsc ? spsc->Empty() : queue->Empty(); }
-  std::size_t QueueSize() const { return spsc ? spsc->size() : queue->size(); }
+  bool QueueClosed() const {
+    return lanes ? lanes->closed() : spsc ? spsc->closed() : queue->closed();
+  }
+  bool QueueEmpty() const {
+    return lanes ? lanes->Empty() : spsc ? spsc->Empty() : queue->Empty();
+  }
+  std::size_t QueueSize() const {
+    return lanes ? lanes->size() : spsc ? spsc->size() : queue->size();
+  }
   std::vector<Envelope> QueueDrainAll() {
-    return spsc ? spsc->DrainAll() : queue->DrainAll();
+    return lanes ? lanes->DrainAll() : spsc ? spsc->DrainAll() : queue->DrainAll();
   }
   void QueuePushFront(std::vector<Envelope>&& items) {
-    if (spsc) {
+    if (lanes) {
+      lanes->PushFront(std::move(items));
+    } else if (spsc) {
       spsc->PushFront(std::move(items));
     } else {
       queue->PushFront(std::move(items));
@@ -220,6 +264,7 @@ class LocalEngine::RoutingCollector final : public Collector {
       ESP_EFFECTS_ESCAPE_END
     }
     const std::int64_t now = now_hint_ns_ != 0 ? now_hint_ns_ : engine_->NowNs();
+    last_now_ns_ = now;  // lent to FlushExpired's not-due precheck
     if (record.source_emit_ns == 0) record.source_emit_ns = now;
     ++emitted_;
 
@@ -271,11 +316,18 @@ class LocalEngine::RoutingCollector final : public Collector {
     return n;
   }
 
+  /// Timestamp of the latest Emit (0 = never).  The source loop lends it to
+  /// FlushExpired's not-due precheck so an emitting iteration skips a clock
+  /// read; it is at most one Produce call old there, the same tolerance as
+  /// SetNowHint.
+  std::int64_t LastNowNs() const { return last_now_ns_; }
+
  private:
   LocalEngine* engine_;
   LocalTask* task_;
   std::uint64_t emitted_ = 0;
   std::int64_t now_hint_ns_ = 0;
+  std::int64_t last_now_ns_ = 0;
 };
 
 // ------------------------------------------------------------ construction
@@ -349,84 +401,121 @@ SimDuration LocalEngine::FlushDeadlineForEdge(std::uint32_t edge) const {
 
 void LocalEngine::Append(Channel& channel, Record record, std::int64_t now) {
   std::vector<Envelope> flushed;
-  {
-    MutexLock lock(channel.mutex);
-    if (channel.buffer.empty()) {
-      // Steady state the buffer already carries recycled capacity (spare
-      // cycling); the reserve only fires on the cold start of a channel.
-      // Instant flush relies on it too: the reserved capacity sizes the
-      // queue's coalesced tail chunks, closing the recycling cycle for
-      // one-envelope batches.
-      if (channel.buffer.capacity() == 0) {
-        channel.buffer.reserve(options_.batch_capacity);
-      }
-      channel.first_entry_ns.store(now, std::memory_order_relaxed);
+  // Owner claim: one uncontended CAS in the steady state.  The spin fallback
+  // only runs while a control-thread stealer holds the claim, and stealer
+  // holds are bounded and short by the §14 contract.
+  channel.claim.Acquire();
+  if (channel.buffer.empty()) {
+    // Steady state the buffer already carries recycled capacity (spare
+    // cycling); the reserve only fires on the cold start of a channel.
+    // Instant flush relies on it too: the reserved capacity sizes the
+    // queue's coalesced tail chunks, closing the recycling cycle for
+    // one-envelope batches.
+    if (channel.buffer.capacity() == 0) {
+      channel.buffer.reserve(options_.batch_capacity);
     }
-    Envelope env;
-    env.record = std::move(record);
-    env.channel_emit_ns = now;
-    env.channel = channel.index;
-    channel.buffer.push_back(std::move(env));
-
-    bool flush_now = false;
-    switch (options_.shipping) {
-      case ShippingStrategy::kInstantFlush:
-        flush_now = true;
-        break;
-      case ShippingStrategy::kFixedBuffer:
-        flush_now = channel.buffer.size() >= options_.batch_capacity;
-        break;
-      case ShippingStrategy::kAdaptive:
-        flush_now = channel.buffer.size() >= options_.batch_capacity ||
-                    now - channel.first_entry_ns.load(std::memory_order_relaxed) >=
-                        channel.flush_deadline.load(std::memory_order_relaxed);
-        break;
-    }
-    if (flush_now) {
-      for (const Envelope& e : channel.buffer) {
-        channel.sampler.OfferOutputBatchLatency(
-            static_cast<double>(now - e.channel_emit_ns) * 1e-9);
-        channel.sampler.CountItem();
-      }
-      flushed.swap(channel.buffer);
-      channel.buffer.swap(channel.spare);  // recharge with recycled capacity
-      channel.first_entry_ns.store(0, std::memory_order_relaxed);
-    }
+    channel.first_entry_ns.store(now, std::memory_order_relaxed);
   }
-  if (!flushed.empty()) DeliverBatch(channel, flushed);
-}
+  // In-place aggregate construction (C++20 parenthesized init): one Record
+  // move into the buffer slot instead of a stack envelope plus a second move.
+  channel.buffer.emplace_back(std::move(record), now, channel.index);
 
-void LocalEngine::FlushChannel(Channel& channel, bool force) {
-  if (!force) {
-    // Lock-free not-due check: non-forced flushes only ever fire for the
-    // adaptive strategy once the oldest buffered record's deadline passed.
-    if (options_.shipping != ShippingStrategy::kAdaptive) return;
-    const std::int64_t fe = channel.first_entry_ns.load(std::memory_order_relaxed);
-    if (fe == 0 ||
-        NowNs() - fe < channel.flush_deadline.load(std::memory_order_relaxed)) {
-      return;
-    }
+  bool flush_now = false;
+  switch (options_.shipping) {
+    case ShippingStrategy::kInstantFlush:
+      flush_now = true;
+      break;
+    case ShippingStrategy::kFixedBuffer:
+      flush_now = channel.buffer.size() >= options_.batch_capacity;
+      break;
+    case ShippingStrategy::kAdaptive:
+      // buffer.front().channel_emit_ns IS first_entry_ns, already cache-hot
+      // under the claim -- the atomic mirror is only for lock-free readers.
+      flush_now = channel.buffer.size() >= options_.batch_capacity ||
+                  now - channel.buffer.front().channel_emit_ns >=
+                      channel.flush_deadline.load(std::memory_order_relaxed);
+      break;
   }
-  std::vector<Envelope> flushed;
-  {
-    MutexLock lock(channel.mutex);
-    if (channel.buffer.empty()) return;
-    const std::int64_t now = NowNs();
-    const bool expired =
-        options_.shipping == ShippingStrategy::kAdaptive &&
-        now - channel.first_entry_ns.load(std::memory_order_relaxed) >=
-            channel.flush_deadline.load(std::memory_order_relaxed);
-    if (!force && !expired) return;
-    for (const Envelope& e : channel.buffer) {
-      channel.sampler.OfferOutputBatchLatency(
-          static_cast<double>(now - e.channel_emit_ns) * 1e-9);
-      channel.sampler.CountItem();
-    }
+  // The append boundary is also where a stealer's delegated flush request is
+  // honored (the flush-delegation handshake, DESIGN.md §14).
+  if (flush_now || channel.claim.FlushRequested()) {
     flushed.swap(channel.buffer);
     channel.buffer.swap(channel.spare);  // recharge with recycled capacity
     channel.first_entry_ns.store(0, std::memory_order_relaxed);
+    channel.claim.ClearFlushRequest();
   }
+  channel.claim.Release();
+  if (!flushed.empty()) {
+    OfferBatchSamples(channel, flushed, now);
+    DeliverBatch(channel, flushed);
+  }
+}
+
+void LocalEngine::FlushChannel(Channel& channel, bool force,
+                               std::int64_t now_hint) {
+  if (!force) {
+    // Lock-free not-due check: non-forced flushes only ever fire for the
+    // adaptive strategy once the oldest buffered record's deadline passed.
+    // `now_hint` (when lent by the caller's loop) is at most one
+    // Produce/batch old -- a not-due verdict it produces is re-examined
+    // within microseconds, far inside the millisecond deadline scale.
+    if (options_.shipping != ShippingStrategy::kAdaptive) return;
+    const std::int64_t fe = channel.first_entry_ns.load(std::memory_order_relaxed);
+    if (fe == 0 ||
+        (now_hint != 0 ? now_hint : NowNs()) - fe <
+            channel.flush_deadline.load(std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  if (!channel.claim.TryAcquire()) {
+    // Non-forced deadline flushes run on the owner's own thread, so a
+    // failed try means a stealer has the claim -- it will flush; retry next
+    // tick.  Forced flushes may be the control thread racing an ACTIVE
+    // owner: raise the delegation flag first, then spin out the bounded
+    // grace.  If the owner keeps the claim the whole grace, it is live and
+    // appending, and will honor flush_requested at its next boundary --
+    // deadline enforcement holds either way.
+    if (!force) return;
+    channel.claim.RequestFlush();
+    if (!channel.claim.TryAcquireFor(kClaimStealGrace)) return;
+  }
+  if (channel.buffer.empty()) {
+    channel.claim.ClearFlushRequest();
+    channel.claim.Release();
+    return;
+  }
+  const std::int64_t now = NowNs();
+  const bool expired =
+      options_.shipping == ShippingStrategy::kAdaptive &&
+      now - channel.first_entry_ns.load(std::memory_order_relaxed) >=
+          channel.flush_deadline.load(std::memory_order_relaxed);
+  if (!force && !expired && !channel.claim.FlushRequested()) {
+    channel.claim.Release();
+    return;
+  }
+  std::vector<Envelope> flushed;
+  flushed.swap(channel.buffer);
+  channel.buffer.swap(channel.spare);  // recharge with recycled capacity
+  channel.first_entry_ns.store(0, std::memory_order_relaxed);
+  channel.claim.ClearFlushRequest();
+  channel.claim.Release();
+  OfferBatchSamples(channel, flushed, now);
   DeliverBatch(channel, flushed);
+}
+
+void LocalEngine::OfferBatchSamples(Channel& channel,
+                                    const std::vector<Envelope>& batch,
+                                    std::int64_t now) {
+  // O(batch) sampler work on the producer side, but OUTSIDE the buffer
+  // critical section: the sampler mutex is contended only by the consumer's
+  // per-batch latency pass and the control thread's harvest, never by the
+  // per-record append path.
+  MutexLock lock(channel.mutex);
+  for (const Envelope& e : batch) {
+    channel.sampler.OfferOutputBatchLatency(
+        static_cast<double>(now - e.channel_emit_ns) * 1e-9);
+    channel.sampler.CountItem();
+  }
 }
 
 void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>& batch) {
@@ -449,7 +538,7 @@ void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>& batch) {
   // working as designed -- account it as shed against the wedged vertex.
   // Either way the batch must be emptied here: parking a still-full batch
   // as the spare would re-deliver the dropped records on a later flush.
-  if (!channel.consumer->QueuePush(batch)) {
+  if (!channel.consumer->QueuePush(batch, channel.lane)) {
     LocalTask* blame =
         channel.consumer->quarantined.load(std::memory_order_seq_cst)
             ? channel.consumer
@@ -462,18 +551,23 @@ void LocalEngine::DeliverBatch(Channel& channel, std::vector<Envelope>& batch) {
     batch.clear();
   }
   if (batch.capacity() == 0) return;
-  MutexLock lock(channel.mutex);
+  // Parking the recycled capacity needs the claim (spare is claim-owned).
+  // The claim is free here in the steady state -- the flusher released it
+  // before delivering -- so a failed try means a stealer is mid-flush;
+  // dropping the capacity is cheaper than waiting for it.
+  if (!channel.claim.TryAcquire()) return;
   if (channel.spare.capacity() == 0) channel.spare = std::move(batch);
+  channel.claim.Release();
 }
 
-void LocalEngine::FlushExpired(LocalTask* task) {
+void LocalEngine::FlushExpired(LocalTask* task, std::int64_t now_hint) {
   for (auto& per_edge : task->outputs) {
-    for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/false);
+    for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/false, now_hint);
   }
   // Fused members' real output channels are also owned by this thread.
   for (LocalTask* m : task->chain_members) {
     for (auto& per_edge : m->outputs) {
-      for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/false);
+      for (Channel* ch : per_edge) FlushChannel(*ch, /*force=*/false, now_hint);
     }
   }
 }
@@ -542,8 +636,12 @@ void LocalEngine::SourceLoopBody(LocalTask* task, RoutingCollector& collector) {
     // No busy flag here: the drain detector only consults non-source tasks
     // (sources are parked, not drained, during a rescale).
     const bool more = task->source->Produce(collector);
-    task->emitted_n.fetch_add(collector.TakeEmitted(), std::memory_order_relaxed);
-    FlushExpired(task);
+    const std::uint64_t emitted = collector.TakeEmitted();
+    task->emitted_n.fetch_add(emitted, std::memory_order_relaxed);
+    // An emitting iteration lends Emit's clock read to the deadline
+    // precheck; an idle one (emitted == 0) must read fresh -- a frozen hint
+    // would postpone the deadline flush indefinitely.
+    FlushExpired(task, emitted > 0 ? collector.LastNowNs() : 0);
     if (!more) break;
   }
 }
@@ -722,7 +820,7 @@ void LocalEngine::TaskLoopBody(LocalTask* task, RoutingCollector& collector) {
       }
       m->next_timer_ns += entry.second;
     }
-    FlushExpired(task);
+    FlushExpired(task, now);
 
     if (n == 0) {
       if (timer_fired) task->busy.store(false);
@@ -1074,11 +1172,20 @@ void LocalEngine::BuildEpoch() {
 
   // Input-queue selection: a consumer fed by exactly one producer TASK over
   // its real (non-fused) channels gets the lock-free SPSC ring; fan-in > 1
-  // keeps the mutex-guarded MPSC queue.  Fused members get no queue at all.
-  std::unordered_map<LocalTask*, std::unordered_set<LocalTask*>> producers_of;
+  // gets one SPSC lane PER PRODUCER merged on the consumer side
+  // (fanin_lanes.h, DESIGN.md §14); the mutex-guarded MPSC queue remains
+  // for disabled fast paths and the no-producer corner.  Fused members get
+  // no queue at all.  The per-consumer producer list is kept in channel
+  // ITERATION order (deterministic, first-channel-wins) because its indices
+  // become the lane assignment below.
+  std::unordered_map<LocalTask*, std::vector<LocalTask*>> producers_of;
   for (auto& channel : channels_) {
     if (channel->chained) continue;
-    producers_of[channel->consumer].insert(channel->producer);
+    auto& producers = producers_of[channel->consumer];
+    if (std::find(producers.begin(), producers.end(), channel->producer) ==
+        producers.end()) {
+      producers.push_back(channel->producer);
+    }
   }
   for (auto& task : tasks_) {
     if (task->is_source || task->chained) continue;
@@ -1086,9 +1193,23 @@ void LocalEngine::BuildEpoch() {
     const std::size_t fan_in = it == producers_of.end() ? 0 : it->second.size();
     if (fan_in == 1 && options_.spsc_channels) {
       task->spsc = std::make_unique<SpscQueue<Envelope>>(options_.queue_capacity);
+    } else if (fan_in > 1 && options_.fanin_lanes) {
+      task->lanes = std::make_unique<FaninLanes<Envelope>>(options_.queue_capacity,
+                                                           fan_in);
     } else {
       task->queue = std::make_unique<BoundedQueue<Envelope>>(options_.queue_capacity);
     }
+  }
+  // Lane assignment: every channel into a laned consumer pushes to the lane
+  // of ITS producer task.  A lane is SPSC because one thread flushes all of
+  // a producer task's channels; two channels sharing (producer, consumer)
+  // share a lane, which that same single-flusher argument keeps safe.
+  for (auto& channel : channels_) {
+    if (channel->chained || channel->consumer->lanes == nullptr) continue;
+    const auto& producers = producers_of[channel->consumer];
+    channel->lane = static_cast<std::uint32_t>(
+        std::find(producers.begin(), producers.end(), channel->producer) -
+        producers.begin());
   }
 
   // Chain-head resolution, in topological order so a member's head is known
@@ -1272,8 +1393,11 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions,
            channel->producer->chain_head == quarantined)) {
         continue;
       }
-      MutexLock lock(channel->mutex);
-      if (!channel->buffer.empty()) return false;
+      // Lock-free emptiness: first_entry_ns != 0 <=> buffer non-empty (both
+      // transitions happen under the claim, for every shipping strategy).
+      if (channel->first_entry_ns.load(std::memory_order_relaxed) != 0) {
+        return false;
+      }
     }
     return true;
   };
@@ -1320,10 +1444,16 @@ bool LocalEngine::RebuildEpoch(const std::vector<ScalingAction>& actions,
     const auto shed_outputs = [](LocalTask* t) {
       for (auto& per_edge : t->outputs) {
         for (Channel* ch : per_edge) {
-          MutexLock lock(ch->mutex);
+          // The unbounded spin is the exactly-once guarantee: the wedged
+          // thread may be force-flushing this very channel on its way out,
+          // but its claim holds are bounded, so Acquire terminates and the
+          // buffer is counted here XOR delivered into the closed queue
+          // (which counts the drop as shed) -- never both.
+          ch->claim.Acquire();
           t->shed_n.fetch_add(ch->buffer.size(), std::memory_order_relaxed);
           ch->buffer.clear();
           ch->first_entry_ns.store(0, std::memory_order_relaxed);
+          ch->claim.Release();
         }
       }
     };

@@ -3,10 +3,12 @@
 // The cluster simulator (sim/cluster.h) reproduces the paper's experiments
 // at scale; LocalEngine demonstrates the same architecture on REAL threads
 // for laptop-scale jobs and powers the runnable examples:
-//   * one thread per task, bounded MPSC input queues (blocking push =
+//   * one thread per task, bounded input queues (blocking push =
 //     backpressure) -- specialised per epoch to a lock-free SPSC ring for
-//     1-producer edges, and eliminated entirely for chainable edges, whose
-//     consumer UDF is fused into the producer's thread (DESIGN.md §10),
+//     1-producer edges, to per-producer SPSC fan-in lanes for multi-
+//     producer edges (DESIGN.md §14), and eliminated entirely for chainable
+//     edges, whose consumer UDF is fused into the producer's thread
+//     (DESIGN.md §10),
 //   * per-channel output batching with instant / fixed-size / adaptive
 //     deadline flushing,
 //   * live QoS reporters/managers feeding the latency model, and
@@ -96,6 +98,12 @@ struct LocalEngineOptions {
   /// MPSC queue for tasks fed by exactly one producer task, selected
   /// automatically at every epoch (re)build.
   bool spsc_channels = true;
+  /// Use per-producer SPSC fan-in lanes (fanin_lanes.h) instead of the
+  /// shared mutex-guarded MPSC queue for tasks fed by MORE than one
+  /// producer task, selected automatically at every epoch (re)build
+  /// (DESIGN.md §14).  Off = every multi-producer edge shares one locked
+  /// BoundedQueue (the `--no-lanes` ablation in bench/micro_engine).
+  bool fanin_lanes = true;
   /// Optional fault-injection harness (non-owning; must outlive Run).
   FaultInjector* fault_injector = nullptr;
   /// Overload protection: SLO watchdog + AIMD load shedding + degradation
@@ -262,9 +270,27 @@ class LocalEngine {
   /// so FailureEvent reports the ORIGINAL vertex, not the chain head.
   void ReportTaskFailure(LocalTask* task, const std::string& what,
                          LocalTask* origin = nullptr);
+  /// Appends one record to the channel's producer-owned staging buffer
+  /// under the channel's ProducerClaim -- no mutex on the per-record path
+  /// (DESIGN.md §14) -- and flushes at the strategy's batch boundary or on a
+  /// stealer's delegated flush request.
   void Append(Channel& channel, Record record, std::int64_t now);
-  void FlushExpired(LocalTask* task);
-  void FlushChannel(Channel& channel, bool force);
+  /// `now_hint` (0 = none) lends the caller's latest clock read to the
+  /// not-due prechecks, skipping one NowNs per loop iteration; it is at
+  /// most one Produce/batch old, inside the deadline tolerance.
+  void FlushExpired(LocalTask* task, std::int64_t now_hint = 0);
+  /// Flushes a channel's staging buffer.  Non-forced calls run on the
+  /// owning producer thread (deadline flushing); forced calls may also come
+  /// from the control thread, which STEALS the claim under the bounded
+  /// grace protocol -- an active owner keeps the claim and honors the
+  /// raised flush_requested at its next append/flush boundary instead.
+  void FlushChannel(Channel& channel, bool force, std::int64_t now_hint = 0);
+  /// Offers a flushed batch's output-batch latencies + item counts to the
+  /// channel sampler.  Runs AFTER the claim is released: the sampler has
+  /// its own (rare) mutex, so O(batch) sampler work never extends the
+  /// buffer critical section appends contend with.
+  void OfferBatchSamples(Channel& channel, const std::vector<Envelope>& batch,
+                         std::int64_t now);
   /// Ships a flushed batch to the consumer's queue.  On return `batch` is
   /// empty but recharged with recycled capacity (from the queue's spent-
   /// chunk pool), which is parked in the channel's spare buffer for the

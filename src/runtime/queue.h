@@ -4,6 +4,16 @@
 // backpressure (paper §III-B): a slow consumer propagates pressure upstream
 // through blocked pushes exactly like Nephele's bounded channels.
 //
+// Role since DESIGN.md §14: the shared locked queue is no longer the
+// default for ANY live edge shape -- 1-producer edges take the SpscQueue
+// fast path (spsc_queue.h) and multi-producer edges take per-producer
+// FaninLanes (fanin_lanes.h).  BoundedQueue remains the reference
+// implementation of the queue contract (blocking push, close, PushFront,
+// DrainAll, mark_busy), the fallback when either fast path is disabled
+// (LocalEngineOptions::spsc_channels / fanin_lanes), the no-producer
+// corner's queue, and the ablation baseline `micro_engine --no-lanes`
+// measures against.
+//
 // Hot-path design:
 //   * Storage is batch-granular: PushAll moves the producer's whole vector
 //     in (O(1)) and PopBatchFor hands a full chunk back to the consumer by

@@ -1,7 +1,9 @@
 // Lock-free bounded SPSC channel: the fast-path input queue for a task fed
 // by exactly ONE producer.  LocalEngine selects it automatically at epoch
-// (re)build time for unchained 1-producer edges and falls back to the
-// mutex-guarded BoundedQueue everywhere else (DESIGN.md §10).
+// (re)build time for unchained 1-producer edges; fan-in > 1 edges compose
+// one SpscQueue PER PRODUCER into a FaninLanes array (fanin_lanes.h), and
+// only the no-producer corner falls back to the mutex-guarded BoundedQueue
+// (DESIGN.md §10, §14).
 //
 // The single-producer / single-consumer restriction lets both cursors
 // advance without a lock, and publication is BATCH-granular all the way
@@ -57,6 +59,9 @@
 #include "common/thread_annotations.h"
 
 namespace esp::runtime {
+
+template <typename T>
+class FaninLanes;  // fanin_lanes.h: per-producer lane arrays reuse the leaves below
 
 template <typename T>
 class SpscQueue {
@@ -200,6 +205,13 @@ class SpscQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// FaninLanes composes one SpscQueue per producer into a fan-in array: it
+  /// drives the lock-free leaves (TryPush/PopReady) and the per-lane park
+  /// protocol directly, while providing its own aggregate consumer park, so
+  /// the leaves stay private to everyone else.
+  template <typename>
+  friend class FaninLanes;
+
   /// Chunk slots: enough for `capacity` one-record chunks (instant flush),
   /// rounded up to a power of two for mask indexing.  Larger chunks simply
   /// leave slots unused; the record-count bound is `capacity_`.
